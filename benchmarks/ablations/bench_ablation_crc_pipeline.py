@@ -1,0 +1,58 @@
+"""Ablation: CRC pipeline depth vs FRTL and timing closure (Section 3.3).
+
+The design-space story as executable constraints:
+
+* four CRC stages + the receiver clock-crossing FIFO close timing trivially
+  but cost 16 ns more FRTL per direction-pair — each fabric stage is 8
+  memory-bus cycles;
+* two CRC stages with the FIFO bypassed meet the FRTL budget, but only
+  close timing with pre-placed RX flops AND an over-constrained CRC feed;
+* one CRC stage is hopeless at 250 MHz no matter the physical tricks.
+"""
+
+from bench_util import run_once
+
+from repro.fpga import FpgaTimingConfig, INITIAL_TIMING, SHIPPING_TIMING, TimingClosure
+
+
+def test_crc_pipeline_ablation(benchmark):
+    def experiment():
+        rows = []
+        configs = {
+            "initial (4-stage CRC + RX FIFO)": INITIAL_TIMING,
+            "shipping (2-stage, FIFO bypass, both optimizations)": SHIPPING_TIMING,
+            "2-stage, no pre-placement": FpgaTimingConfig(preplace_rx_flops=False),
+            "2-stage, no over-constraint": FpgaTimingConfig(overconstrain_crc_feed=False),
+            "1-stage CRC": FpgaTimingConfig(crc_stages=1),
+        }
+        for name, config in configs.items():
+            closure = TimingClosure(config)
+            rows.append((
+                name,
+                closure.frtl_contribution_ps() / 1000,
+                closure.estimated_fmax_mhz(),
+                closure.meets_timing(),
+            ))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    for name, frtl_ns, fmax, met in rows:
+        print(f"  {name:52s} FRTL +{frtl_ns:5.1f} ns  "
+              f"Fmax {fmax:5.0f} MHz  timing {'MET' if met else 'MISSED'}")
+
+    by_name = {r[0]: r for r in rows}
+    initial = by_name["initial (4-stage CRC + RX FIFO)"]
+    shipping = by_name["shipping (2-stage, FIFO bypass, both optimizations)"]
+
+    # both baseline facts from the paper hold:
+    assert initial[3] and shipping[3]
+    assert shipping[1] < initial[1]                       # lower FRTL
+    # six fabric stages saved: 2 FIFO + 2 CRC on RX, 2 CRC on TX = 24 ns,
+    # i.e. 48 memory-bus cycles recovered from the FRTL budget
+    assert initial[1] - shipping[1] == 24.0
+    # the optimizations are individually necessary:
+    assert not by_name["2-stage, no pre-placement"][3]
+    assert not by_name["2-stage, no over-constraint"][3]
+    assert not by_name["1-stage CRC"][3]
+    benchmark.extra_info["frtl_saved_ns"] = initial[1] - shipping[1]

@@ -1,0 +1,49 @@
+"""Channel scaling: the Figure 1 bandwidth architecture.
+
+POWER8 reaches its 410 GB/s peak by populating eight DMI channels
+(Figure 1); throughput must scale near-linearly as channels are added.
+This bench measures pipelined read throughput with one and two populated
+channels and checks the scaling factor.
+"""
+
+from bench_util import run_once
+
+from repro import CardSpec, ContuttoSystem
+from repro.units import CACHE_LINE_BYTES, GIB, S
+
+
+def _throughput(num_channels: int, lines_per_channel: int = 96) -> float:
+    system = ContuttoSystem.build(
+        [
+            CardSpec(slot=slot, kind="centaur", capacity_per_dimm=1 * GIB)
+            for slot in range(num_channels)
+        ]
+    )
+    sim = system.sim
+    t0 = sim.now_ps
+    signals = []
+    for i in range(lines_per_channel):
+        for channel in range(num_channels):
+            addr = channel * 4 * GIB + i * CACHE_LINE_BYTES
+            signals.append(system.socket.read_line(addr))
+    for sig in signals:
+        sim.run_until_signal(sig, timeout_ps=10**13)
+    total_bytes = num_channels * lines_per_channel * CACHE_LINE_BYTES
+    return total_bytes / ((sim.now_ps - t0) / S) / 1e9
+
+
+def test_channel_scaling(benchmark):
+    def experiment():
+        return {n: _throughput(n) for n in (1, 2, 4)}
+
+    results = run_once(benchmark, experiment)
+    print()
+    for channels, gbps in results.items():
+        print(f"  {channels} channel(s): {gbps:6.1f} GB/s "
+              f"({gbps / results[1]:.2f}x of one channel)")
+
+    assert results[2] > 1.6 * results[1]
+    assert results[4] > 3.0 * results[1]
+    benchmark.extra_info.update(
+        {f"ch{k}_gbps": round(v, 1) for k, v in results.items()}
+    )

@@ -1,0 +1,74 @@
+"""The paper's open question: pointer chasing under added memory latency.
+
+Section 4.1 closes with: "there can be other memory-bound applications
+such as graph and pointer chasing applications where the performance
+degradation could be much higher.  The effects on such computations need
+to be further studied and ConTutto provides a unique platform to study
+such effects."
+
+This bench performs that study on the simulated platform: a dependent
+chain of cache-line loads (no memory-level parallelism to hide anything)
+driven through the full DMI machinery at each knob setting.  Result: chase
+time scales essentially 1:1 with latency to memory — the 6x latency that
+cost the SPEC suite a median of ~2% costs the pointer chase ~6x.
+"""
+
+from bench_util import run_once
+
+from repro import CardSpec, ContuttoSystem
+from repro.buffer import LATENCY_OPTIMIZED
+from repro.sim import Rng
+from repro.units import GIB, MIB
+from repro.workloads import TraceSpec, pointer_chase
+
+
+def _chase_time_ns(system, kind: str, hops: int = 48) -> float:
+    """Walk a dependent chain; every hop waits for the previous load."""
+    region = system.region_for_slot(system.slots_of_kind(kind)[0])
+    spec = TraceSpec(base=region.base, size_bytes=min(region.os_size, 8 * MIB),
+                     num_accesses=hops)
+    chain = pointer_chase(spec, Rng(17))
+    t0 = system.sim.now_ps
+    for addr in chain:
+        system.sim.run_until_signal(system.socket.read_line(addr), timeout_ps=10**13)
+    return (system.sim.now_ps - t0) / hops / 1000  # ns per hop
+
+
+def test_pointer_chase_scales_with_latency(benchmark):
+    def experiment():
+        results = {}
+        centaur = ContuttoSystem.build(
+            [CardSpec(slot=0, kind="centaur", capacity_per_dimm=1 * GIB,
+                      centaur_config=LATENCY_OPTIMIZED)]
+        )
+        results["centaur"] = (
+            centaur.measure_latency_ns("centaur", samples=12),
+            _chase_time_ns(centaur, "centaur"),
+        )
+        for knob in (0, 7):
+            system = ContuttoSystem.build(
+                [CardSpec(slot=0, kind="contutto", capacity_per_dimm=4 * GIB,
+                          knob_position=knob)]
+            )
+            results[f"contutto@{knob}"] = (
+                system.measure_latency_ns("contutto", samples=12),
+                _chase_time_ns(system, "contutto"),
+            )
+        return results
+
+    results = run_once(benchmark, experiment)
+    print()
+    base_lat, base_hop = results["centaur"]
+    for name, (latency, hop) in results.items():
+        print(f"  {name:12s} latency {latency:5.0f} ns -> {hop:6.0f} ns/hop "
+              f"(chase slowdown {hop / base_hop:.1f}x at {latency / base_lat:.1f}x latency)")
+
+    # the chase tracks latency ~1:1: a 6x latency costs ~6x chase time
+    worst_lat, worst_hop = results["contutto@7"]
+    latency_x = worst_lat / base_lat
+    chase_x = worst_hop / base_hop
+    assert chase_x > 0.8 * latency_x
+    assert chase_x > 4.0  # catastrophically worse than SPEC's median ~2%
+    benchmark.extra_info.update(
+        latency_x=round(latency_x, 2), chase_x=round(chase_x, 2)
+    )

@@ -1,0 +1,8 @@
+"""Make the shared helpers importable for the ablation benches."""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(_HERE))  # benchmarks/ for bench_util
+sys.path.insert(0, _HERE)                   # ablations/ for ablation_util

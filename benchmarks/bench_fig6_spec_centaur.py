@@ -1,0 +1,24 @@
+"""Figure 6: SPEC CINT2006 ratios with variable latency on Centaur."""
+
+from bench_util import run_once
+
+from repro import run_fig6
+
+
+def test_fig6_spec_on_centaur(benchmark):
+    table = run_once(benchmark, run_fig6, samples=16)
+    print("\n" + table.format())
+
+    assert len(table.rows) == 12  # the full CINT2006 suite
+
+    # ratios fall monotonically as the latency knobs slow memory down
+    for row in table.rows:
+        ratios = row[1:]
+        assert ratios == sorted(ratios, reverse=True), row[0]
+
+    # over the Figure 6 range (79 -> 249 ns) degradation stays mild for most
+    mild = sum(1 for row in table.rows if row[1] / row[-1] - 1 < 0.10)
+    assert mild >= 9  # at most a small sensitive tail
+
+    worst = max(row[1] / row[-1] - 1 for row in table.rows)
+    benchmark.extra_info["worst_degradation_pct"] = round(worst * 100, 1)

@@ -1,0 +1,30 @@
+"""Figure 7: SPEC ratios with variable memory latency on ConTutto."""
+
+from bench_util import run_once
+
+from repro import run_fig7
+
+
+def test_fig7_spec_on_contutto(benchmark):
+    table = run_once(benchmark, run_fig7, samples=16)
+    print("\n" + table.format())
+
+    degradations = [float(row[-1].rstrip("%")) / 100 for row in table.rows]
+    n = len(degradations)
+    assert n == 12
+
+    # the published population shape at ~6x latency:
+    under_2 = sum(1 for d in degradations if d < 0.02)
+    under_10 = sum(1 for d in degradations if d < 0.10)
+    over_50 = sum(1 for d in degradations if d > 0.50)
+    band = sum(1 for d in degradations if 0.15 <= d <= 0.35)
+
+    assert under_2 >= n * 0.4, "about half the suite under 2%"
+    assert under_10 >= n * 0.6, "two-thirds under 10%"
+    assert band >= 2, "a 15-35% band exists"
+    assert over_50 == 1, "exactly one benchmark above 50% (mcf)"
+
+    benchmark.extra_info.update(
+        under_2pct=under_2, under_10pct=under_10, over_50pct=over_50,
+        max_degradation_pct=round(max(degradations) * 100, 1),
+    )

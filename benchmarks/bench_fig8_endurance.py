@@ -1,0 +1,28 @@
+"""Figure 8: endurance comparison between non-volatile memory technologies."""
+
+from bench_util import run_once
+
+from repro import run_fig8
+from repro.core import calibration as cal
+from repro.memory import ENDURANCE_MLC_NAND, ENDURANCE_STT_MRAM, memory_bus_lifetime_s
+from repro.units import MIB
+
+
+def test_fig8_endurance(benchmark):
+    table = run_once(benchmark, run_fig8)
+    print("\n" + table.format())
+
+    # every technology from the figure, in ascending endurance order
+    cycles = [float(c) for c in table.column("Write cycles")]
+    assert cycles == sorted(cycles)
+    for tech, paper_cycles in cal.FIG8_ENDURANCE_CYCLES.items():
+        measured = float(table.cell("Technology", tech, "Write cycles"))
+        assert measured == paper_cycles
+
+    # the quantitative punchline: flash dies in under an hour of memory-bus
+    # writes, STT-MRAM outlives the machine
+    flash_life = memory_bus_lifetime_s(ENDURANCE_MLC_NAND, 256 * MIB, 10e9)
+    mram_life = memory_bus_lifetime_s(ENDURANCE_STT_MRAM, 256 * MIB, 10e9)
+    assert flash_life < 3_600
+    assert mram_life > 3.15e7
+    benchmark.extra_info["mram_over_flash"] = f"{mram_life / flash_life:.0e}x"

@@ -1,0 +1,44 @@
+"""Figure 9: FIO IOPS for different non-volatile technologies/attach points."""
+
+from bench_util import run_once
+
+from repro.core.experiment import run_fio_matrix
+
+
+def _matrix(ios=24):
+    return run_fio_matrix(ios=ios)
+
+
+def test_fig9_fio_iops(benchmark):
+    fig9, _ = run_once(benchmark, _matrix)
+    print("\n" + fig9.format())
+
+    iops = {row[0]: (row[1], row[2]) for row in fig9.rows}
+
+    # ordering: flash-PCIe < NVRAM-PCIe < MRAM-PCIe < ConTutto attaches
+    read_order = [iops[n][0] for n in (
+        "flash_x4_pcie", "nvram_pcie", "mram_pcie", "mram_contutto"
+    )]
+    assert read_order == sorted(read_order)
+
+    # MRAM-on-ConTutto vs NVRAM-on-PCIe (paper: 4.5x read / 6.2x write)
+    read_x = iops["mram_contutto"][0] / iops["nvram_pcie"][0]
+    write_x = iops["mram_contutto"][1] / iops["nvram_pcie"][1]
+    assert 3.0 <= read_x <= 9.0
+    assert 4.0 <= write_x <= 9.5
+
+    # NVDIMM-on-ConTutto vs NVRAM-on-PCIe (paper: 6.5x read / 7.5x write)
+    nv_read_x = iops["nvdimm_contutto"][0] / iops["nvram_pcie"][0]
+    nv_write_x = iops["nvdimm_contutto"][1] / iops["nvram_pcie"][1]
+    assert 4.5 <= nv_read_x <= 10.0
+    assert 5.0 <= nv_write_x <= 11.0
+
+    # same technology, better attach point (paper: 1.5x read / 2.2x write)
+    attach_read_x = iops["mram_contutto"][0] / iops["mram_pcie"][0]
+    assert 1.2 <= attach_read_x <= 3.5
+
+    benchmark.extra_info.update(
+        mram_ct_vs_nvram_read=round(read_x, 1),
+        mram_ct_vs_nvram_write=round(write_x, 1),
+        nvdimm_ct_vs_nvram_read=round(nv_read_x, 1),
+    )

@@ -1,0 +1,21 @@
+"""Table 1: FPGA resource utilization of the base ConTutto design."""
+
+from bench_util import run_once
+
+from repro import run_table1
+from repro.core import calibration as cal
+
+
+def test_table1_resources(benchmark):
+    table = run_once(benchmark, run_table1)
+    print("\n" + table.format())
+
+    for resource, (available, utilized) in cal.TABLE1_RESOURCES.items():
+        row = table.row_by("Resource", resource)
+        assert row[1] == available, f"{resource} availability"
+        assert row[2] == utilized, f"{resource} utilization"
+        benchmark.extra_info[f"{resource}_utilized"] = row[2]
+
+    # the paper's point: significant headroom remains for acceleration
+    alms_row = table.row_by("Resource", "ALMs")
+    assert alms_row[2] / alms_row[1] < 0.5

@@ -1,0 +1,29 @@
+"""Table 2: Centaur latency settings vs DB2 BLU query runtime."""
+
+from bench_util import run_once
+
+from repro import run_table2
+from repro.core import calibration as cal
+
+
+def test_table2_db2_on_centaur(benchmark):
+    table = run_once(benchmark, run_table2, samples=16)
+    print("\n" + table.format())
+
+    latencies = table.column("Latency (ns)")
+    runtimes = table.column("DB2 runtime (s)")
+
+    # latency knobs produce a monotone latency ladder with the paper's deltas
+    assert latencies == sorted(latencies)
+    paper = [lat for _, lat, _ in cal.TABLE2_ROWS]
+    for i in range(1, len(paper)):
+        measured_delta = latencies[i] - latencies[0]
+        assert abs(measured_delta - (paper[i] - paper[0])) < 10
+
+    # headline claim: >3x latency -> <8% runtime increase
+    assert latencies[-1] / latencies[0] > 2.5
+    assert runtimes[-1] / runtimes[0] - 1 < cal.TABLE2_MAX_DEGRADATION
+
+    benchmark.extra_info["degradation_pct"] = round(
+        (runtimes[-1] / runtimes[0] - 1) * 100, 2
+    )

@@ -1,0 +1,29 @@
+"""Table 3: variable latency settings on ConTutto."""
+
+from bench_util import run_once
+
+from repro import run_table3
+from repro.core import calibration as cal
+
+
+def test_table3_contutto_latencies(benchmark):
+    table = run_once(benchmark, run_table3, samples=16)
+    print("\n" + table.format())
+
+    for label, paper_ns in cal.TABLE3_LATENCIES_NS.items():
+        measured = table.cell("Configuration", label, "Latency (ns)")
+        assert abs(measured - paper_ns) / paper_ns < 0.10, (
+            f"{label}: {measured:.0f} ns vs paper {paper_ns} ns"
+        )
+        benchmark.extra_info[label] = round(measured, 1)
+
+    matched = table.cell(
+        "Configuration", "centaur_function_matched", "Latency (ns)"
+    )
+    assert abs(matched - cal.TABLE3_FUNCTION_MATCHED_NS) / cal.TABLE3_FUNCTION_MATCHED_NS < 0.10
+
+    base = table.cell("Configuration", "contutto_base", "Latency (ns)")
+    optimized = table.cell("Configuration", "centaur", "Latency (ns)")
+    # the paper's framing: ~27-33% over matched Centaur, ~280% over optimized
+    assert 0.2 <= base / matched - 1 <= 0.5
+    assert 2.5 <= base / optimized - 1 <= 3.5

@@ -1,0 +1,31 @@
+"""Table 4: GPFS small-write IOPS — HDD vs SSD vs STT-MRAM on the DMI link."""
+
+from bench_util import run_once
+
+from repro import run_table4
+from repro.core import calibration as cal
+
+
+def test_table4_gpfs_iops(benchmark):
+    table = run_once(benchmark, run_table4, writes=20)
+    print("\n" + table.format())
+
+    hdd = table.cell("Technology", "Hard Disk Drive", "IOPS")
+    ssd = table.cell("Technology", "SSD", "IOPS")
+    mram = table.cell("Technology", "STT-MRAM (ConTutto)", "IOPS")
+
+    # absolute bands around the published numbers
+    assert 50 <= hdd <= 120, f"HDD {hdd:.0f} IOPS vs paper 75"
+    assert 10_000 <= ssd <= 20_000, f"SSD {ssd:.0f} IOPS vs paper 15K"
+    assert 90_000 <= mram <= 180_000, f"MRAM {mram:.0f} IOPS vs paper 125K"
+
+    # the ordering and the headline factor
+    assert hdd < ssd < mram
+    assert 6 <= mram / ssd <= 12, (
+        f"MRAM/SSD = {mram / ssd:.1f}x vs paper {cal.TABLE4_MRAM_OVER_SSD}x"
+    )
+
+    benchmark.extra_info.update(
+        hdd_iops=round(hdd), ssd_iops=round(ssd), mram_iops=round(mram),
+        mram_over_ssd=round(mram / ssd, 1),
+    )

@@ -1,0 +1,33 @@
+"""Table 5: performance of accelerated functions on ConTutto."""
+
+from bench_util import run_once
+
+from repro import run_table5
+
+
+def test_table5_accelerated_functions(benchmark):
+    table = run_once(benchmark, run_table5, size_mib=16)
+    print("\n" + table.format())
+
+    rows = {row[0]: row for row in table.rows}
+
+    memcpy_gbps = float(rows["Memory copy"][1].split()[0])
+    minmax_gbps = float(rows["Min/max (32-bit ints)"][1].split()[0])
+    fft_gs = float(rows["1024-pt FFT"][1].split()[0])
+
+    # paper: 6 GB/s, 10.5 GB/s, 1.3 Gsamples/s
+    assert 4.5 <= memcpy_gbps <= 7.5
+    assert 8.5 <= minmax_gbps <= 13.0
+    assert 0.9 <= fft_gs <= 1.7
+
+    # min/max is read-only, so it's roughly 2x the copy rate
+    assert 1.6 <= minmax_gbps / memcpy_gbps <= 2.4
+
+    # every kernel beats its software baseline (paper: 2x to 20x)
+    speedups = [float(row[3].rstrip("x")) for row in table.rows]
+    assert all(s > 1.5 for s in speedups)
+    assert max(speedups) > 15  # the min/max scalar loop loses by ~20x
+
+    benchmark.extra_info.update(
+        memcpy_gbps=memcpy_gbps, minmax_gbps=minmax_gbps, fft_gsamples=fft_gs,
+    )

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate the measured tables embedded in EXPERIMENTS.md.
+
+Runs every experiment in the harness and prints the markdown blocks; use
+this after changing any model to refresh the paper-vs-measured record:
+
+    python scripts/regenerate_experiments.py > /tmp/experiments_raw.md
+
+The fidelity-note prose in EXPERIMENTS.md is curated by hand; splice the
+regenerated tables into the existing structure rather than overwriting it.
+"""
+
+from repro import (
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fio_matrix,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+def main() -> None:
+    for fn, kwargs in [
+        (run_table1, {}),
+        (run_table2, {"samples": 24}),
+        (run_fig6, {"samples": 24}),
+        (run_table3, {"samples": 24}),
+        (run_fig7, {"samples": 24}),
+        (run_fig8, {}),
+        (run_table4, {"writes": 24}),
+    ]:
+        print(fn(**kwargs).to_markdown())
+        print()
+    fig9, fig10 = run_fio_matrix(ios=32)
+    print(fig9.to_markdown())
+    print()
+    print(fig10.to_markdown())
+    print()
+    print(run_table5(size_mib=16).to_markdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""ConTutto reproduction: an FPGA memory-buffer prototyping platform for a
+POWER8-class server, rebuilt as a discrete-event simulated software twin.
+
+The paper (Sukhwani et al., MICRO-50 2017) plugs an FPGA card into the DMI
+memory channel of a POWER8 server in place of the Centaur buffer ASIC, then
+uses it to (1) vary latency to memory under real applications, (2) attach
+STT-MRAM and NVDIMM-N to the memory bus, and (3) accelerate kernels next to
+memory.  This package implements the whole platform in Python — the DMI
+protocol with CRC/replay/training, both buffer designs, the memory devices,
+the firmware boot path, the storage stack, and the accelerators — and
+regenerates every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import CardSpec, ContuttoSystem
+    from repro.units import GIB
+
+    system = ContuttoSystem.build([
+        CardSpec(slot=0, kind="contutto", capacity_per_dimm=4 * GIB),
+    ])
+    print(system.measure_latency_ns("contutto"), "ns")
+
+See ``examples/`` and ``benchmarks/`` for the paper's experiments.
+"""
+
+from .core import (
+    CardSpec,
+    ContuttoSystem,
+    ResultTable,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fio_matrix,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CardSpec",
+    "ContuttoSystem",
+    "ResultTable",
+    "__version__",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fio_matrix",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

@@ -1,0 +1,49 @@
+"""Near-memory min/max scan accelerator (Table 5, row 2).
+
+Finds the minimum and maximum of a block of 32-bit integers "on-the-fly
+while being retrieved from the DIMMs under control of the Access
+processor" — a read-only stream, so throughput approaches the full
+aggregate read bandwidth of the two DIMM ports (the paper measures
+10.5 GB/s, versus 0.5 GB/s for the scalar software loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AccelError
+from .access_processor import DMA_CHUNK_BYTES
+from .block import BlockAccelerator, ControlBlock
+
+KERNEL_MINMAX = 0x11
+
+
+class MinMaxEngine(BlockAccelerator):
+    """Streaming min/max over int32 data, compute hidden under transfer."""
+
+    resource_block = "minmax_engine"
+
+    def _kernel(self, cb: ControlBlock):
+        if cb.opcode != KERNEL_MINMAX:
+            raise AccelError(f"{self.name}: unexpected opcode {cb.opcode:#x}")
+        if cb.length % 4 != 0:
+            raise AccelError(f"{self.name}: length must be a multiple of int32")
+        best_min = None
+        best_max = None
+        # stream in large segments so the Access processor keeps multiple
+        # row bursts in flight on both DIMM ports; the compare tree keeps up
+        # with the stream (no extra cycles — it computes as data arrives)
+        segment = 64 * DMA_CHUNK_BYTES
+        pos = 0
+        while pos < cb.length:
+            take = min(segment, cb.length - pos)
+            read_proc = self.access.dma_read(cb.src + pos, take)
+            yield read_proc.done
+            values = np.frombuffer(read_proc.result, dtype="<i4")
+            chunk_min = int(values.min())
+            chunk_max = int(values.max())
+            best_min = chunk_min if best_min is None else min(best_min, chunk_min)
+            best_max = chunk_max if best_max is None else max(best_max, chunk_max)
+            pos += take
+        assert best_min is not None and best_max is not None
+        return (best_min, best_max)

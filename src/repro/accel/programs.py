@@ -1,0 +1,122 @@
+"""A library of Access-processor microprograms.
+
+Parameterized assembly kernels for the operations Section 4.3 attributes
+to the Access processor: access generation on behalf of accelerators,
+streaming scans, and block moves.  Each function returns assembled code
+ready for :meth:`~repro.accel.access_processor.AccessProcessor.load_program`
+(or for encoding into an on-DIMM executable image).
+
+Register conventions used by these kernels:
+
+* ``r1`` — source address cursor
+* ``r2`` — destination address cursor (move kernels)
+* ``r3`` — loop counter / remaining elements
+* ``r4``/``r5`` — accumulators (sum, running min/max)
+* ``r6``/``r7`` — scratch
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AssemblerError
+from .isa import Instruction, assemble
+
+
+def sum_words(base_addr: int, num_words: int) -> List[Instruction]:
+    """Sum ``num_words`` 64-bit words starting at ``base_addr`` into r4."""
+    if num_words < 1:
+        raise AssemblerError("sum_words needs at least one word")
+    return assemble(f"""
+        ldi r1, {base_addr}
+        ldi r3, {num_words}
+        ldi r4, 0
+        ldi r6, 0
+        loop:
+        ld r5, [r1]
+        add r4, r4, r5
+        addi r1, r1, 8
+        addi r6, r6, 1
+        bne r6, r3, loop
+        halt
+    """)
+
+
+def minmax_words(base_addr: int, num_words: int) -> List[Instruction]:
+    """Running min (r4) and max (r5) of 64-bit words (Table 5's kernel
+    expressed as a microprogram rather than a hard engine)."""
+    if num_words < 1:
+        raise AssemblerError("minmax_words needs at least one word")
+    return assemble(f"""
+        ldi r1, {base_addr}
+        ldi r3, {num_words}
+        ld r4, [r1]          ; seed min with the first element
+        mov r5, r4           ; seed max
+        ldi r6, 1
+        addi r1, r1, 8
+        beq r6, r3, done
+        loop:
+        ld r7, [r1]
+        min r4, r4, r7
+        max r5, r5, r7
+        addi r1, r1, 8
+        addi r6, r6, 1
+        bne r6, r3, loop
+        done:
+        halt
+    """)
+
+
+def block_move(src_addr: int, dst_addr: int, nbytes: int) -> List[Instruction]:
+    """DMA a block from src to dst through the stream buffer."""
+    if nbytes < 1:
+        raise AssemblerError("block_move needs at least one byte")
+    return assemble(f"""
+        ldi r1, {src_addr}
+        ldi r2, {dst_addr}
+        ldi r3, {nbytes}
+        dmard r4, r1, r3
+        dmawr r5, r2, r3
+        halt
+    """)
+
+
+def strided_gather(base_addr: int, stride_bytes: int, count: int) -> List[Instruction]:
+    """Sum every ``stride_bytes``-th word — the address-generation pattern
+    the Access processor performs 'on behalf of the attached accelerators'."""
+    if count < 1 or stride_bytes < 8:
+        raise AssemblerError("strided_gather needs count >= 1, stride >= 8")
+    return assemble(f"""
+        ldi r1, {base_addr}
+        ldi r3, {count}
+        ldi r4, 0
+        ldi r6, 0
+        loop:
+        ld r5, [r1]
+        add r4, r4, r5
+        addi r1, r1, {stride_bytes}
+        addi r6, r6, 1
+        bne r6, r3, loop
+        halt
+    """)
+
+
+def pointer_chase_program(head_addr: int, hops: int) -> List[Instruction]:
+    """Follow a linked chain: each word holds the address of the next.
+
+    The worst-case access pattern for memory latency (no MLP) — the class
+    of computation the paper flags for further study.  r4 ends with the
+    final address reached.
+    """
+    if hops < 1:
+        raise AssemblerError("pointer_chase needs at least one hop")
+    return assemble(f"""
+        ldi r4, {head_addr}
+        ldi r3, {hops}
+        ldi r6, 0
+        loop:
+        ld r4, [r4]          ; the loaded value IS the next address
+        addi r6, r6, 1
+        bne r6, r3, loop
+        halt
+    """)

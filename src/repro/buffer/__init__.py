@@ -1,0 +1,29 @@
+"""Memory buffers: common interface, eDRAM cache, and the Centaur ASIC model."""
+
+from .base import MemoryBuffer, RespondFn
+from .cache import BufferCache
+from .centaur import NUM_DDR_PORTS, Centaur
+from .config import (
+    CONSERVATIVE,
+    DEFAULT,
+    FUNCTION_MATCHED,
+    LATENCY_OPTIMIZED,
+    RELAXED,
+    TABLE2_CONFIGS,
+    CentaurConfig,
+)
+
+__all__ = [
+    "BufferCache",
+    "CONSERVATIVE",
+    "Centaur",
+    "CentaurConfig",
+    "DEFAULT",
+    "FUNCTION_MATCHED",
+    "LATENCY_OPTIMIZED",
+    "MemoryBuffer",
+    "NUM_DDR_PORTS",
+    "RELAXED",
+    "RespondFn",
+    "TABLE2_CONFIGS",
+]

@@ -1,0 +1,138 @@
+"""DMI memory commands.
+
+The primary DMI commands (Section 2.2) operate on 128-byte cache lines:
+
+* full cache-line read,
+* full cache-line write,
+* partial cache-line write, executed as an atomic read-modify-write.
+
+ConTutto's FPGA extends the command set (Section 4.2/4.3) with operations
+Centaur does not implement:
+
+* ``FLUSH`` — drain outstanding writes to the memory devices (required by
+  the persistent-memory software stack),
+* fine-grained in-line acceleration ops: ``MIN_STORE``, ``MAX_STORE``,
+  ``CSWAP`` (conditional swap), executed by augmented command engines.
+
+A command is identified in flight by its *tag* (0–31); see
+:mod:`repro.dmi.tags`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import AlignmentError, ProtocolError
+from ..units import CACHE_LINE_BYTES
+
+
+class Opcode(enum.Enum):
+    """DMI command opcodes (base protocol + ConTutto extensions)."""
+
+    READ = "read"                  # full 128B cache-line read
+    WRITE = "write"                # full 128B cache-line write
+    PARTIAL_WRITE = "partial_write"  # read-modify-write of a 128B line
+    FLUSH = "flush"                # ConTutto extension: drain write queue
+    MIN_STORE = "min_store"        # ConTutto in-line accel: store min(mem, data)
+    MAX_STORE = "max_store"        # ConTutto in-line accel: store max(mem, data)
+    CSWAP = "cswap"                # ConTutto in-line accel: conditional swap
+
+    @property
+    def is_extension(self) -> bool:
+        """True for commands only the FPGA buffer implements (not Centaur)."""
+        return self in _EXTENSION_OPS
+
+    @property
+    def has_downstream_data(self) -> bool:
+        """True if the processor sends a data payload with the command."""
+        return self in (
+            Opcode.WRITE,
+            Opcode.PARTIAL_WRITE,
+            Opcode.MIN_STORE,
+            Opcode.MAX_STORE,
+            Opcode.CSWAP,
+        )
+
+    @property
+    def returns_data(self) -> bool:
+        """True if the buffer returns cache-line data upstream."""
+        return self in (Opcode.READ, Opcode.CSWAP)
+
+    @property
+    def is_rmw(self) -> bool:
+        """True if execution requires read + merge + write at the buffer."""
+        return self in (
+            Opcode.PARTIAL_WRITE,
+            Opcode.MIN_STORE,
+            Opcode.MAX_STORE,
+            Opcode.CSWAP,
+        )
+
+
+_EXTENSION_OPS = frozenset(
+    {Opcode.FLUSH, Opcode.MIN_STORE, Opcode.MAX_STORE, Opcode.CSWAP}
+)
+
+
+@dataclass
+class Command:
+    """One memory command as issued on the DMI channel.
+
+    ``address`` is a buffer-local byte address, 128B-aligned.  For write-class
+    commands ``data`` carries the full 128-byte payload; for partial writes
+    ``byte_enable`` selects which bytes within the line are merged.
+    """
+
+    opcode: Opcode
+    address: int
+    tag: int
+    data: Optional[bytes] = None
+    byte_enable: Optional[bytes] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.address % CACHE_LINE_BYTES != 0 and self.opcode is not Opcode.FLUSH:
+            raise AlignmentError(
+                f"{self.opcode.value} address {self.address:#x} not 128B-aligned"
+            )
+        if not 0 <= self.tag < 32:
+            raise ProtocolError(f"tag {self.tag} outside the 32-tag window")
+        if self.opcode.has_downstream_data:
+            if self.data is None or len(self.data) != CACHE_LINE_BYTES:
+                raise ProtocolError(
+                    f"{self.opcode.value} requires a {CACHE_LINE_BYTES}B payload"
+                )
+        elif self.data is not None:
+            raise ProtocolError(f"{self.opcode.value} must not carry data")
+        if self.opcode is Opcode.PARTIAL_WRITE:
+            if self.byte_enable is None or len(self.byte_enable) != CACHE_LINE_BYTES:
+                raise ProtocolError(
+                    "partial_write requires a 128B byte-enable mask"
+                )
+        elif self.byte_enable is not None:
+            raise ProtocolError(f"{self.opcode.value} must not carry byte enables")
+
+
+@dataclass
+class Response:
+    """Completion sent by the buffer back to the processor.
+
+    Every command eventually yields a *done* for its tag; read-class commands
+    additionally return the cache-line ``data`` (in frames preceding the done).
+    """
+
+    tag: int
+    opcode: Opcode
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tag < 32:
+            raise ProtocolError(f"tag {self.tag} outside the 32-tag window")
+        if self.opcode.returns_data:
+            if self.data is None or len(self.data) != CACHE_LINE_BYTES:
+                raise ProtocolError(
+                    f"{self.opcode.value} response requires a {CACHE_LINE_BYTES}B payload"
+                )
+        elif self.data is not None:
+            raise ProtocolError(f"{self.opcode.value} response must not carry data")

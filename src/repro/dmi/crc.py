@@ -1,0 +1,75 @@
+"""CRC for DMI frame protection.
+
+The paper states both upstream and downstream frames are protected with a
+"strong cyclic redundancy check".  The POWER8 memory-buffer manual does not
+publish the exact polynomial, so we use CRC-16/CCITT-FALSE (polynomial
+0x1021, init 0xFFFF) — a standard 16-bit CRC of the same strength class.
+What the experiments exercise is the *behaviour*: any corrupted frame fails
+its check and triggers replay, and an intact frame never does.
+
+A table-driven implementation is provided because frames are checked on
+every transfer in protocol-level simulations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+CRC16_POLY = 0x1021
+CRC16_INIT = 0xFFFF
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc16(data: bytes, init: int = CRC16_INIT) -> int:
+    """CRC-16/CCITT-FALSE over ``data``."""
+    crc = init
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def crc16_bitwise(data: bytes, init: int = CRC16_INIT) -> int:
+    """Bit-serial reference implementation (used to cross-check the table)."""
+    crc = init
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ CRC16_POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def append_crc(data: bytes) -> bytes:
+    """Return ``data`` with its big-endian CRC-16 appended."""
+    crc = crc16(data)
+    return data + bytes([(crc >> 8) & 0xFF, crc & 0xFF])
+
+
+def check_crc(framed: bytes) -> bool:
+    """Verify a buffer produced by :func:`append_crc`.
+
+    Checking a CRC-appended message yields a fixed residue; comparing against
+    a recomputed CRC keeps the code obvious.
+    """
+    if len(framed) < 2:
+        return False
+    body, trailer = framed[:-2], framed[-2:]
+    expect = crc16(body)
+    return trailer == bytes([(expect >> 8) & 0xFF, expect & 0xFF])

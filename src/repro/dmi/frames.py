@@ -1,0 +1,297 @@
+"""DMI frame formats and (de)serialization.
+
+Frames are the unit of transfer and of error recovery on the DMI channel.
+Per Section 2.2 the downstream link has 14 data/command lanes and the
+upstream link 21, operations are on 128-byte cache lines, and four packets
+constitute one frame.  We model a frame as 16 unit intervals on every lane:
+
+* downstream frame: 14 lanes x 16 UI = 224 bits = 28 bytes on the wire,
+* upstream frame:   21 lanes x 16 UI = 336 bits = 42 bytes on the wire.
+
+Each frame carries a 6-bit sequence ID, an optional ACK for a previously
+received frame, a CRC-16, and a payload:
+
+* downstream: at most one command header plus one 16-byte write-data chunk
+  (so a full 128B write occupies 8 frames, command riding in the first);
+* upstream: at most two *done* notifications plus one 32-byte read-data
+  chunk (a 128B read response spans 4 data frames, then a done).
+
+The logical packed encoding used for CRC/scrambling/error-injection is a few
+bytes larger than the physical frame (we keep field encodings byte-aligned
+for auditability); the *timing* model always uses the physical wire size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ProtocolError
+from .commands import Opcode
+from .crc import append_crc, check_crc
+
+SEQ_MOD = 64               # 6-bit frame sequence ID space
+NO_ACK = 0xFF              # ack byte value meaning "no ACK in this frame"
+
+DOWN_LANES = 14
+UP_LANES = 21
+FRAME_UI = 16              # unit intervals per frame, per lane
+
+DOWN_WIRE_BYTES = DOWN_LANES * FRAME_UI // 8   # 28
+UP_WIRE_BYTES = UP_LANES * FRAME_UI // 8       # 42
+
+DOWN_DATA_CHUNK = 16       # write-data bytes per downstream frame
+UP_DATA_CHUNK = 32         # read-data bytes per upstream frame
+
+_OPCODE_CODES = {op: i for i, op in enumerate(Opcode)}
+_CODE_OPCODES = {i: op for op, i in _OPCODE_CODES.items()}
+
+
+@dataclass
+class CommandHeader:
+    """Command portion of a downstream frame."""
+
+    opcode: Opcode
+    tag: int
+    address: int
+
+    def pack(self) -> bytes:
+        if not 0 <= self.address < (1 << 48):
+            raise ProtocolError(f"address {self.address:#x} exceeds 48-bit space")
+        return bytes([_OPCODE_CODES[self.opcode], self.tag]) + self.address.to_bytes(6, "big")
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "CommandHeader":
+        if len(raw) != 8:
+            raise ProtocolError(f"command header must be 8 bytes, got {len(raw)}")
+        code = raw[0]
+        if code not in _CODE_OPCODES:
+            raise ProtocolError(f"unknown opcode code {code}")
+        return cls(_CODE_OPCODES[code], raw[1], int.from_bytes(raw[2:8], "big"))
+
+
+@dataclass
+class DataChunk:
+    """A slice of cache-line data in flight, identified by (tag, offset)."""
+
+    tag: int
+    offset: int          # byte offset within the 128B line
+    data: bytes
+
+    def pack(self) -> bytes:
+        if len(self.data) > 255:
+            raise ProtocolError("data chunk too large to encode")
+        return bytes([self.tag, self.offset, len(self.data)]) + self.data
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["DataChunk", bytes]:
+        if len(raw) < 3:
+            raise ProtocolError("truncated data chunk")
+        tag, offset, length = raw[0], raw[1], raw[2]
+        if len(raw) < 3 + length:
+            raise ProtocolError("truncated data chunk payload")
+        return cls(tag, offset, raw[3 : 3 + length]), raw[3 + length :]
+
+
+@dataclass
+class DoneNotice:
+    """Command-completion notification carried upstream."""
+
+    tag: int
+
+    def pack(self) -> bytes:
+        return bytes([self.tag])
+
+
+class Frame:
+    """Common behaviour of downstream and upstream frames."""
+
+    wire_bytes: int = 0
+    direction: str = ""
+
+    def __init__(self, seq_id: int, ack_seq: Optional[int] = None):
+        if not 0 <= seq_id < SEQ_MOD:
+            raise ProtocolError(f"sequence ID {seq_id} outside 6-bit space")
+        if ack_seq is not None and not 0 <= ack_seq < SEQ_MOD:
+            raise ProtocolError(f"ACK sequence {ack_seq} outside 6-bit space")
+        self.seq_id = seq_id
+        self.ack_seq = ack_seq
+
+    def _pack_header(self, kind: int) -> bytes:
+        ack = NO_ACK if self.ack_seq is None else self.ack_seq
+        return bytes([kind, self.seq_id, ack])
+
+    def pack(self) -> bytes:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ack = f" ack={self.ack_seq}" if self.ack_seq is not None else ""
+        return f"<{type(self).__name__} seq={self.seq_id}{ack}>"
+
+
+class DownstreamFrame(Frame):
+    """Processor -> buffer frame: optional command + optional write-data chunk."""
+
+    KIND = 0xD0
+    wire_bytes = DOWN_WIRE_BYTES
+    direction = "downstream"
+
+    def __init__(
+        self,
+        seq_id: int,
+        ack_seq: Optional[int] = None,
+        command: Optional[CommandHeader] = None,
+        chunk: Optional[DataChunk] = None,
+    ):
+        super().__init__(seq_id, ack_seq)
+        if chunk is not None and len(chunk.data) > DOWN_DATA_CHUNK:
+            raise ProtocolError(
+                f"downstream chunk of {len(chunk.data)}B exceeds {DOWN_DATA_CHUNK}B"
+            )
+        self.command = command
+        self.chunk = chunk
+
+    @property
+    def is_idle(self) -> bool:
+        return self.command is None and self.chunk is None
+
+    def pack(self) -> bytes:
+        flags = (1 if self.command else 0) | (2 if self.chunk else 0)
+        body = self._pack_header(self.KIND) + bytes([flags])
+        if self.command:
+            body += self.command.pack()
+        if self.chunk:
+            body += self.chunk.pack()
+        return append_crc(body)
+
+    @classmethod
+    def unpack(cls, framed: bytes) -> "DownstreamFrame":
+        if not check_crc(framed):
+            raise ProtocolError("downstream frame failed CRC")
+        raw = framed[:-2]
+        if len(raw) < 4 or raw[0] != cls.KIND:
+            raise ProtocolError("not a downstream frame")
+        seq_id, ack_byte, flags = raw[1], raw[2], raw[3]
+        ack = None if ack_byte == NO_ACK else ack_byte
+        rest = raw[4:]
+        command = None
+        if flags & 1:
+            command = CommandHeader.unpack(rest[:8])
+            rest = rest[8:]
+        chunk = None
+        if flags & 2:
+            chunk, rest = DataChunk.unpack(rest)
+        if rest:
+            raise ProtocolError("trailing bytes in downstream frame")
+        return cls(seq_id, ack, command, chunk)
+
+
+class UpstreamFrame(Frame):
+    """Buffer -> processor frame: up to two dones + optional read-data chunk."""
+
+    KIND = 0xD1
+    wire_bytes = UP_WIRE_BYTES
+    direction = "upstream"
+
+    def __init__(
+        self,
+        seq_id: int,
+        ack_seq: Optional[int] = None,
+        dones: Optional[List[DoneNotice]] = None,
+        chunk: Optional[DataChunk] = None,
+    ):
+        super().__init__(seq_id, ack_seq)
+        self.dones = list(dones or [])
+        if len(self.dones) > 2:
+            raise ProtocolError("an upstream frame carries at most two dones")
+        if chunk is not None and len(chunk.data) > UP_DATA_CHUNK:
+            raise ProtocolError(
+                f"upstream chunk of {len(chunk.data)}B exceeds {UP_DATA_CHUNK}B"
+            )
+        self.chunk = chunk
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.dones and self.chunk is None
+
+    def pack(self) -> bytes:
+        body = self._pack_header(self.KIND) + bytes([len(self.dones)])
+        for done in self.dones:
+            body += done.pack()
+        body += bytes([1 if self.chunk else 0])
+        if self.chunk:
+            body += self.chunk.pack()
+        return append_crc(body)
+
+    @classmethod
+    def unpack(cls, framed: bytes) -> "UpstreamFrame":
+        if not check_crc(framed):
+            raise ProtocolError("upstream frame failed CRC")
+        raw = framed[:-2]
+        if len(raw) < 4 or raw[0] != cls.KIND:
+            raise ProtocolError("not an upstream frame")
+        seq_id, ack_byte, n_dones = raw[1], raw[2], raw[3]
+        ack = None if ack_byte == NO_ACK else ack_byte
+        rest = raw[4:]
+        if len(rest) < n_dones + 1:
+            raise ProtocolError("truncated upstream frame")
+        dones = [DoneNotice(rest[i]) for i in range(n_dones)]
+        rest = rest[n_dones:]
+        has_chunk = rest[0]
+        rest = rest[1:]
+        chunk = None
+        if has_chunk:
+            chunk, rest = DataChunk.unpack(rest)
+        if rest:
+            raise ProtocolError("trailing bytes in upstream frame")
+        return cls(seq_id, ack, dones, chunk)
+
+
+class TrainingFrame(Frame):
+    """Signature frame used during link training to measure FRTL.
+
+    The processor and the buffer each transmit frames with specific
+    signatures and compute the latency between two such frames
+    (Section 2.3).  Training frames sit outside the sequence/ACK machinery:
+    they carry a signature ID instead of participating in replay.
+    """
+
+    KIND = 0xD2
+    wire_bytes = DOWN_WIRE_BYTES  # same 16 UI cadence in either direction
+    direction = "training"
+
+    def __init__(self, signature: int, echoed: bool = False):
+        super().__init__(seq_id=0, ack_seq=None)
+        if not 0 <= signature < (1 << 16):
+            raise ProtocolError(f"training signature {signature} exceeds 16 bits")
+        self.signature = signature
+        self.echoed = echoed
+
+    def pack(self) -> bytes:
+        body = bytes([self.KIND, 0, NO_ACK, 1 if self.echoed else 0])
+        body += self.signature.to_bytes(2, "big")
+        return append_crc(body)
+
+    @classmethod
+    def unpack(cls, framed: bytes) -> "TrainingFrame":
+        if not check_crc(framed):
+            raise ProtocolError("training frame failed CRC")
+        raw = framed[:-2]
+        if len(raw) != 6 or raw[0] != cls.KIND:
+            raise ProtocolError("not a training frame")
+        return cls(int.from_bytes(raw[4:6], "big"), echoed=bool(raw[3]))
+
+
+def frame_kind(framed: bytes) -> Optional[int]:
+    """Peek the kind byte of a packed frame (``None`` if too short)."""
+    return framed[0] if framed else None
+
+
+def next_seq(seq: int) -> int:
+    """The sequence ID following ``seq`` (wraps at :data:`SEQ_MOD`)."""
+    return (seq + 1) % SEQ_MOD
+
+
+def seq_distance(older: int, newer: int) -> int:
+    """Frames from ``older`` (exclusive) to ``newer`` (inclusive), mod wrap."""
+    return (newer - older) % SEQ_MOD

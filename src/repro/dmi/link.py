@@ -1,0 +1,158 @@
+"""Physical-layer model of one DMI link direction.
+
+A :class:`SerialLink` is a unidirectional bundle of high-speed lanes (14
+downstream, 21 upstream).  It models:
+
+* **serialization**: one frame occupies 16 UI on every lane, so at 8 GHz a
+  frame takes 2 ns on the wire and back-to-back frames cannot overlap;
+* **latency**: transmitter SerDes + flight time + receiver capture.  The
+  receive path differs by capture mode — Centaur uses the forwarded clock,
+  while ConTutto's FPGA transceivers recover the clock from the data (CDR)
+  and pay extra capture latency (Section 3.2);
+* **scrambling**: the byte stream is scrambled at the transmitter and
+  descrambled at the receiver with per-lane LFSRs;
+* **bit errors**: an error model flips wire bits with a configurable
+  per-frame probability, which surfaces at the receiver as CRC failures and
+  exercises the replay machinery.
+
+The link delivers raw packed bytes; framing and protocol live in
+:mod:`repro.dmi.channel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..errors import ConfigurationError
+from ..sim import ClockDomain, Rng, Simulator
+from .frames import FRAME_UI
+from .scrambler import BundleScrambler
+
+
+@dataclass
+class LinkErrorModel:
+    """Stochastic corruption of frames in flight.
+
+    ``frame_error_rate`` is the probability that a given frame suffers at
+    least one bit flip in transit.  Real DMI links run with raw BERs around
+    1e-12 and rely on CRC+replay; tests crank this up to exercise recovery.
+    """
+
+    frame_error_rate: float = 0.0
+    max_flips: int = 1
+
+    def corrupt(self, data: bytes, rng: Rng) -> bytes:
+        if not rng.chance(self.frame_error_rate):
+            return data
+        out = bytearray(data)
+        flips = rng.randint(1, max(1, self.max_flips))
+        for _ in range(flips):
+            bit = rng.randint(0, len(out) * 8 - 1)
+            out[bit // 8] ^= 1 << (bit % 8)
+        return bytes(out)
+
+
+class SerialLink:
+    """One direction of the DMI channel: an ordered, lossy-by-corruption pipe."""
+
+    #: extra receiver latency when the sampling clock is recovered from data
+    CDR_EXTRA_PS = 900
+    #: SerDes transmit + receive base latency (both modes)
+    SERDES_BASE_PS = 1_600
+    #: time of flight over the board trace
+    FLIGHT_PS = 500
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        num_lanes: int,
+        link_clock: ClockDomain,
+        cdr_capture: bool = False,
+        error_model: Optional[LinkErrorModel] = None,
+        rng: Optional[Rng] = None,
+    ):
+        if num_lanes <= 0:
+            raise ConfigurationError(f"link {name!r}: needs at least one lane")
+        self.sim = sim
+        self.name = name
+        self.num_lanes = num_lanes
+        self.link_clock = link_clock
+        self.cdr_capture = cdr_capture
+        self.error_model = error_model or LinkErrorModel()
+        self.rng = rng or Rng(0, name)
+        self._tx_scrambler = BundleScrambler(num_lanes)
+        self._rx_scrambler = BundleScrambler(num_lanes)
+        self._next_free_ps = 0
+        self._deliver: Optional[Callable[[bytes], None]] = None
+        # Stats
+        self.frames_sent = 0
+        self.frames_corrupted = 0
+        self.busy_ps = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def connect(self, deliver: Callable[[bytes], None]) -> None:
+        """Attach the receiver callback; called once during channel assembly."""
+        if self._deliver is not None:
+            raise ConfigurationError(f"link {self.name!r} already connected")
+        self._deliver = deliver
+
+    # -- timing ------------------------------------------------------------
+
+    @property
+    def next_free_ps(self) -> int:
+        """When the wire finishes serializing everything queued so far."""
+        return max(self._next_free_ps, self.sim.now_ps)
+
+    @property
+    def frame_wire_ps(self) -> int:
+        """Serialization time of one frame: 16 UI at the link rate."""
+        return FRAME_UI * self.link_clock.period_ps
+
+    @property
+    def latency_ps(self) -> int:
+        """Pipe latency from start-of-serialization to start-of-delivery."""
+        extra = self.CDR_EXTRA_PS if self.cdr_capture else 0
+        return self.SERDES_BASE_PS + self.FLIGHT_PS + extra
+
+    def resync(self) -> None:
+        """Reset scrambler state on both ends (start of link training)."""
+        self._tx_scrambler.resync()
+        self._rx_scrambler.resync()
+
+    # -- transfer ------------------------------------------------------------
+
+    def send(self, packed: bytes) -> int:
+        """Transmit one packed frame; returns its delivery timestamp (ps).
+
+        Frames serialize back to back: a send issued while the wire is busy
+        queues behind the in-flight frame (the protocol layer paces itself,
+        but training patterns burst).
+        """
+        if self._deliver is None:
+            raise ConfigurationError(f"link {self.name!r} has no receiver connected")
+        start = max(self.sim.now_ps, self._next_free_ps)
+        self._next_free_ps = start + self.frame_wire_ps
+        self.busy_ps += self.frame_wire_ps
+
+        wire = self._tx_scrambler.process(packed)
+        wire = self.error_model.corrupt(wire, self.rng)
+        arrival = start + self.frame_wire_ps + self.latency_ps
+        self.frames_sent += 1
+        self.sim.call_at(arrival, self._arrive, wire, packed)
+        return arrival
+
+    def _arrive(self, wire: bytes, original: bytes) -> None:
+        received = self._rx_scrambler.process(wire)
+        if received != original:
+            self.frames_corrupted += 1
+        assert self._deliver is not None
+        self._deliver(received)
+
+    def utilization(self, window_ps: int) -> float:
+        """Fraction of ``window_ps`` the wire spent serializing frames."""
+        if window_ps <= 0:
+            raise ValueError("utilization window must be positive")
+        return min(1.0, self.busy_ps / window_ps)

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the ConTutto reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A system or component was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was misused or reached an invalid state."""
+
+
+class LinkTrainingError(ReproError):
+    """DMI link training failed (alignment, FRTL budget, retries exhausted)."""
+
+
+class FrtlBudgetError(LinkTrainingError):
+    """Round-trip latency through the buffer exceeds the host's maximum FRTL."""
+
+
+class ProtocolError(ReproError):
+    """A DMI protocol invariant was violated (bad tag, bad sequence, ...)."""
+
+
+class CrcError(ProtocolError):
+    """A frame failed its CRC check (normally handled by replay)."""
+
+
+class ReplayError(ProtocolError):
+    """Frame replay could not recover the channel."""
+
+
+class TagExhaustedError(ProtocolError):
+    """All 32 host command tags are in flight and another issue was forced."""
+
+
+class MemoryError_(ReproError):
+    """A memory-device access was invalid (range, alignment, power state)."""
+
+
+class AlignmentError(MemoryError_):
+    """Access not aligned to the device or protocol granularity."""
+
+
+class AddressRangeError(MemoryError_):
+    """Access outside the device's populated address range."""
+
+
+class EnduranceExceededError(MemoryError_):
+    """A non-volatile cell was written more times than its rated endurance."""
+
+
+class PowerSequenceError(ReproError):
+    """FPGA voltage rails were brought up or torn down out of order."""
+
+
+class FirmwareError(ReproError):
+    """Boot / service-processor operation failed."""
+
+
+class PlugRuleError(FirmwareError):
+    """A card was plugged into a DMI slot the plug rules forbid."""
+
+
+class AccelError(ReproError):
+    """Near-memory accelerator misuse (bad control block, bad opcode...)."""
+
+
+class AssemblerError(AccelError):
+    """Access-processor assembly source could not be assembled."""
+
+
+class StorageError(ReproError):
+    """Block-device or driver-stack failure."""

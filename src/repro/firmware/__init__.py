@@ -1,0 +1,69 @@
+"""Firmware/service layer: FSP, FSI/I2C, power sequencing, plug rules, IPL."""
+
+from .boot import FPGA_CONFIG_PS, BootReport, CardDescriptor, IplFlow
+from .csr_map import (
+    CONTUTTO_DESIGN_ID,
+    ENGINES_BUSY_CSR,
+    FLUSHES_CSR,
+    ID_CSR,
+    KNOB_CSR,
+    STATUS_CSR,
+    build_contutto_csrs,
+    read_latency_knob,
+    set_latency_knob,
+)
+from .fsi import (
+    FSI_ACCESS_PS,
+    CentaurFsiSlave,
+    ConTuttoFsiSlave,
+    FsiBus,
+    FsiSlave,
+)
+from .fsp import ErrorLogEntry, ServiceProcessor
+from .i2c import I2C_TRANSACTION_PS, CsrBlock, I2cMaster
+from .plugrules import (
+    NUM_SLOTS,
+    PluggedCard,
+    blocked_slots,
+    max_cdimms_with,
+    paper_config_one_contutto,
+    paper_config_two_contutto,
+    validate_plug_plan,
+)
+from .power_seq import CONTUTTO_RAILS, PowerSequencer, VoltageRail
+
+__all__ = [
+    "BootReport",
+    "CONTUTTO_DESIGN_ID",
+    "CONTUTTO_RAILS",
+    "ENGINES_BUSY_CSR",
+    "FLUSHES_CSR",
+    "ID_CSR",
+    "KNOB_CSR",
+    "STATUS_CSR",
+    "build_contutto_csrs",
+    "read_latency_knob",
+    "set_latency_knob",
+    "CardDescriptor",
+    "CentaurFsiSlave",
+    "ConTuttoFsiSlave",
+    "CsrBlock",
+    "ErrorLogEntry",
+    "FPGA_CONFIG_PS",
+    "FSI_ACCESS_PS",
+    "FsiBus",
+    "FsiSlave",
+    "I2C_TRANSACTION_PS",
+    "I2cMaster",
+    "IplFlow",
+    "NUM_SLOTS",
+    "PluggedCard",
+    "PowerSequencer",
+    "ServiceProcessor",
+    "VoltageRail",
+    "blocked_slots",
+    "max_cdimms_with",
+    "paper_config_one_contutto",
+    "paper_config_two_contutto",
+    "validate_plug_plan",
+]

@@ -1,0 +1,185 @@
+"""The IPL (boot) flow enabling ConTutto in a POWER8 system (Section 3.4).
+
+The sequence firmware runs for each configured card:
+
+1. validate the plug plan (ConTutto blocks its neighbour slot, even slots
+   only);
+2. power-sequence ConTutto cards (FPGA rails in order, then configuration
+   from flash);
+3. presence-detect over FSI and differentiate ConTutto from CDIMM;
+4. read the SPD of the DIMMs behind each buffer to learn the memory type;
+5. train each DMI link, retrying with an FPGA-only reset on failure —
+   "link training often does not complete successfully in a single try and
+   bringing down the entire system would be prohibitively slow";
+6. build the memory map: DRAM contiguous from 0, non-volatile memory at
+   the top with type/preserved flags, MRAM behind a 4 GB hardware window.
+
+Channels whose training keeps failing are deconfigured by the FSP and the
+system boots without them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..buffer.base import MemoryBuffer
+from ..dmi import TrainingConfig
+from ..errors import FirmwareError, LinkTrainingError
+from ..memory.spd import SpdData, spd_for_device
+from ..processor.power8 import Power8Socket
+from ..sim import Simulator
+from ..units import ms_to_ps
+from .fsi import ConTuttoFsiSlave, FsiSlave
+from .fsp import ServiceProcessor
+from .plugrules import PluggedCard, validate_plug_plan
+from .power_seq import PowerSequencer
+
+#: FPGA configuration from flash after power-up
+FPGA_CONFIG_PS = ms_to_ps(120)
+
+
+@dataclass
+class CardDescriptor:
+    """Everything firmware needs to know about one plugged card."""
+
+    slot: int
+    buffer: MemoryBuffer
+    fsi_slave: FsiSlave
+    sequencer: Optional[PowerSequencer] = None  # ConTutto cards only
+
+    @property
+    def kind(self) -> str:
+        return self.buffer.kind
+
+    def spd(self) -> SpdData:
+        """SPD summary of the memory behind this buffer."""
+        devices = [port.device for port in self.buffer.ports]
+        first = spd_for_device(devices[0])
+        total = sum(d.capacity_bytes for d in devices)
+        return SpdData(
+            module_type=first.module_type,
+            capacity_bytes=total,
+            contents_preserved=first.contents_preserved,
+        )
+
+
+@dataclass
+class BootReport:
+    """Outcome of one IPL."""
+
+    trained_channels: List[int] = field(default_factory=list)
+    deconfigured_channels: List[int] = field(default_factory=list)
+    training_attempts: Dict[int, int] = field(default_factory=dict)
+    duration_ps: int = 0
+
+    @property
+    def booted(self) -> bool:
+        return bool(self.trained_channels)
+
+
+class IplFlow:
+    """Drives the boot sequence against a socket and its cards."""
+
+    #: training retries (with FPGA reset between) before deconfiguring
+    MAX_TRAINING_RETRIES = 5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        socket: Power8Socket,
+        fsp: Optional[ServiceProcessor] = None,
+        training: Optional[TrainingConfig] = None,
+    ):
+        self.sim = sim
+        self.socket = socket
+        self.fsp = fsp or ServiceProcessor(sim)
+        self.training = training or TrainingConfig()
+
+    def boot(self, cards: List[CardDescriptor]) -> BootReport:
+        """Run the full IPL; returns the boot report."""
+        start_ps = self.sim.now_ps
+        report = BootReport()
+
+        validate_plug_plan([PluggedCard(c.slot, c.kind) for c in cards])
+        for card in cards:
+            self.fsp.fsi.attach(card.slot, card.fsi_slave)
+        presence = self.fsp.discover()
+        for card in cards:
+            if presence.get(card.slot) != card.kind:
+                raise FirmwareError(
+                    f"slot {card.slot}: presence detect saw "
+                    f"{presence.get(card.slot)!r}, expected {card.kind!r}"
+                )
+
+        for card in cards:
+            self._power_on(card)
+            self._attach_and_train(card, report)
+
+        self._build_memory_map(cards, report)
+        report.duration_ps = self.sim.now_ps - start_ps
+        return report
+
+    # -- power ------------------------------------------------------------------
+
+    def _power_on(self, card: CardDescriptor) -> None:
+        if card.sequencer is None:
+            return
+        done = card.sequencer.power_on()
+        self.sim.run_until_signal(done, timeout_ps=10**12)
+        # configure the FPGA from flash (free-running crystal domain)
+        gate_ps = self.sim.now_ps + FPGA_CONFIG_PS
+        self.sim.run(until_ps=gate_ps)
+        self.fsp.log(f"slot{card.slot}", "FPGA configured", severity="info")
+
+    # -- training with retries ------------------------------------------------------
+
+    def _attach_and_train(self, card: CardDescriptor, report: BootReport) -> None:
+        self.socket.attach_buffer(card.slot, card.buffer)
+        attempts = 0
+        while attempts < self.MAX_TRAINING_RETRIES:
+            attempts += 1
+            done = self.socket.train_channel(card.slot, self.training)
+            try:
+                self.sim.run_until_signal(done, timeout_ps=10**12)
+            except LinkTrainingError as exc:
+                self.fsp.log(f"slot{card.slot}", f"training attempt {attempts}: {exc}")
+                self._reset_for_retry(card)
+                continue
+            report.trained_channels.append(card.slot)
+            report.training_attempts[card.slot] = attempts
+            self.fsp.log(
+                f"slot{card.slot}", f"link trained after {attempts} attempt(s)",
+                severity="info",
+            )
+            break
+        else:
+            report.deconfigured_channels.append(card.slot)
+            report.training_attempts[card.slot] = attempts
+            self.fsp.deconfigure(f"slot{card.slot}")
+
+    def _reset_for_retry(self, card: CardDescriptor) -> None:
+        """Reset only the card, not the system (the external FSI slave's job)."""
+        if isinstance(card.fsi_slave, ConTuttoFsiSlave):
+            done = card.fsi_slave.pulse_fpga_reset()
+            self.sim.run_until_signal(done, timeout_ps=10**12)
+
+    # -- memory map ---------------------------------------------------------------------
+
+    def _build_memory_map(self, cards: List[CardDescriptor], report: BootReport) -> None:
+        entries = []
+        for card in cards:
+            if card.slot not in report.trained_channels:
+                continue
+            spd = card.spd()
+            entries.append(
+                {
+                    "memory_type": spd.module_type,
+                    "capacity_bytes": spd.capacity_bytes,
+                    "channel": card.slot,
+                    "contents_preserved": spd.contents_preserved,
+                }
+            )
+        if entries:
+            self.socket.memory_map.build(entries)
+            self.socket.memory_map.validate()

@@ -1,0 +1,49 @@
+"""The ConTutto FPGA's CSR map, as firmware sees it over FSI -> I2C.
+
+Section 3.4: "the register space inside the FPGA is accessed via I2C ...
+each access becomes an indirect path of FSI Slave to I2C Master to FPGA
+register."  This module defines the registers that path reaches and wires
+them to the live FPGA model, so "controllable from software" is literal:
+writing the knob CSR through the service path changes the delay modules in
+the MBS pipeline of a running buffer.
+"""
+
+from __future__ import annotations
+
+from ..sim import Signal
+from .fsi import ConTuttoFsiSlave
+from .i2c import CsrBlock
+
+#: CSR offsets inside the FPGA
+ID_CSR = 0x00             # design identity/version
+KNOB_CSR = 0x40           # latency knob position (0..7)
+STATUS_CSR = 0x44         # MBS liveness: commands executed (wraps at 32 bits)
+FLUSHES_CSR = 0x48        # flush commands executed
+ENGINES_BUSY_CSR = 0x4C   # command engines currently busy
+
+CONTUTTO_DESIGN_ID = 0xC0_77_00_01
+
+
+def build_contutto_csrs(buffer) -> CsrBlock:
+    """CSR block wired to a live :class:`~repro.fpga.contutto.ConTuttoBuffer`."""
+    csr = CsrBlock(f"{buffer.name}.csr")
+    csr.define(ID_CSR, reset_value=CONTUTTO_DESIGN_ID)
+    csr.define(
+        KNOB_CSR,
+        reset_value=buffer.knob.position,
+        on_write=lambda value: buffer.knob.set_position(value & 0x7),
+        on_read=lambda: buffer.knob.position,
+    )
+    csr.define(STATUS_CSR, on_read=lambda: buffer.mbs.commands & 0xFFFF_FFFF)
+    csr.define(FLUSHES_CSR, on_read=lambda: buffer.mbs.flushes & 0xFFFF_FFFF)
+    csr.define(ENGINES_BUSY_CSR, on_read=lambda: buffer.mbs.engines.busy_count)
+    return csr
+
+
+def set_latency_knob(slave: ConTuttoFsiSlave, position: int) -> Signal:
+    """Software path: set the knob via FSI -> I2C (pays the real latency)."""
+    return slave.fpga_write(KNOB_CSR, position)
+
+
+def read_latency_knob(slave: ConTuttoFsiSlave) -> Signal:
+    return slave.fpga_read(KNOB_CSR)

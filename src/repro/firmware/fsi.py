@@ -1,0 +1,160 @@
+"""Field Service Interface: the FSP's path into every card.
+
+All POWER systems carry a service processor that talks to "slave" devices
+over FSI (Section 3.2).  A CDIMM's Centaur exposes its registers natively
+on FSI; a ConTutto card instead carries an *external* FSI slave that
+provides:
+
+* an I2C master for indirect access to the FPGA's internal registers,
+* reset / power-on controls for the FPGA independent of the rest of the
+  system (so training can retry without a full re-IPL),
+* presence detection and differentiation from standard CDIMMs,
+* direct access to the SPD EEPROMs of the DIMMs plugged into the card.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import FirmwareError
+from ..sim import Signal, Simulator
+from ..units import us_to_ps
+from .i2c import CsrBlock, I2cMaster
+
+#: one native FSI register access
+FSI_ACCESS_PS = us_to_ps(2)
+
+
+class FsiSlave:
+    """Base FSI slave: presence + a native register window."""
+
+    device_kind = "unknown"
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.csr = CsrBlock(f"{name}.fsi_csr")
+
+    def read_reg(self, offset: int) -> Signal:
+        done = Signal(f"{self.name}.fsird")
+        self.sim.call_after(FSI_ACCESS_PS, lambda: done.trigger(self.csr.read(offset)))
+        return done
+
+    def write_reg(self, offset: int, value: int) -> Signal:
+        done = Signal(f"{self.name}.fsiwr")
+
+        def do():
+            self.csr.write(offset, value)
+            done.trigger(None)
+
+        self.sim.call_after(FSI_ACCESS_PS, do)
+        return done
+
+
+class CentaurFsiSlave(FsiSlave):
+    """Centaur's native FSI presence: direct register access, no I2C hop."""
+
+    device_kind = "centaur"
+
+    def __init__(self, sim: Simulator, name: str = "centaur.fsi"):
+        super().__init__(sim, name)
+        self.csr.define(0x00, reset_value=0xC0_17_00_08)  # id / presence
+
+
+class ConTuttoFsiSlave(FsiSlave):
+    """The external FSI slave on a ConTutto card.
+
+    FPGA-internal registers are *not* in this block: they are reached via
+    :meth:`fpga_read` / :meth:`fpga_write`, which model the FSI -> I2C ->
+    CSR indirection and its latency.
+    """
+
+    device_kind = "contutto"
+
+    # control register bits
+    CTRL_REG = 0x04
+    CTRL_FPGA_RESET = 1 << 0
+    CTRL_FPGA_POWER = 1 << 1
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fpga_csr: CsrBlock,
+        spd_images: Optional[List[bytes]] = None,
+        name: str = "contutto.fsi",
+    ):
+        super().__init__(sim, name)
+        self.csr.define(0x00, reset_value=0xC7_77_00_01)  # id: ConTutto
+        self.csr.define(self.CTRL_REG, reset_value=self.CTRL_FPGA_POWER)
+        self.i2c = I2cMaster(sim, fpga_csr, name=f"{name}.i2c")
+        self._spd_images = list(spd_images or [])
+        self.fpga_resets = 0
+
+    # -- indirect FPGA register path --------------------------------------
+
+    def fpga_read(self, offset: int) -> Signal:
+        """FSI -> I2C -> FPGA CSR read (pays both latencies)."""
+        done = Signal(f"{self.name}.fpgard")
+
+        def after_fsi():
+            self.i2c.read_reg(offset).add_waiter(done.trigger)
+
+        self.sim.call_after(FSI_ACCESS_PS, after_fsi)
+        return done
+
+    def fpga_write(self, offset: int, value: int) -> Signal:
+        done = Signal(f"{self.name}.fpgawr")
+
+        def after_fsi():
+            self.i2c.write_reg(offset, value).add_waiter(done.trigger)
+
+        self.sim.call_after(FSI_ACCESS_PS, after_fsi)
+        return done
+
+    # -- reset / power control ------------------------------------------------
+
+    def pulse_fpga_reset(self) -> Signal:
+        """Reset just the FPGA (training retry without touching the system)."""
+        self.fpga_resets += 1
+        done = Signal(f"{self.name}.reset")
+        self.sim.call_after(us_to_ps(500), done.trigger)
+        return done
+
+    # -- SPD ----------------------------------------------------------------------
+
+    def read_spd(self, dimm_slot: int) -> Signal:
+        """Read the SPD EEPROM of a DIMM plugged into the card."""
+        if not 0 <= dimm_slot < len(self._spd_images):
+            raise FirmwareError(
+                f"{self.name}: no DIMM in card slot {dimm_slot}"
+            )
+        done = Signal(f"{self.name}.spd{dimm_slot}")
+        image = self._spd_images[dimm_slot]
+        # SPD EEPROMs sit on the same I2C segment: one transaction per image
+        self.sim.call_after(us_to_ps(200), lambda: done.trigger(image))
+        return done
+
+
+class FsiBus:
+    """The FSP's view: slaves enumerated by (channel) port."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._slaves: Dict[int, FsiSlave] = {}
+
+    def attach(self, port: int, slave: FsiSlave) -> None:
+        if port in self._slaves:
+            raise FirmwareError(f"FSI port {port} already has a slave")
+        self._slaves[port] = slave
+
+    def present(self, port: int) -> bool:
+        return port in self._slaves
+
+    def slave(self, port: int) -> FsiSlave:
+        if port not in self._slaves:
+            raise FirmwareError(f"no FSI slave on port {port}")
+        return self._slaves[port]
+
+    def scan(self) -> Dict[int, str]:
+        """Presence-detect sweep: port -> device kind."""
+        return {port: slave.device_kind for port, slave in sorted(self._slaves.items())}

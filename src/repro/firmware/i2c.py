@@ -1,0 +1,96 @@
+"""I2C register access path into the ConTutto FPGA.
+
+Unlike Centaur, whose internal registers the service processor reads
+directly over FSI, ConTutto's register space is reached indirectly: the
+on-card FSI slave drives an I2C master, which talks to the FPGA's CSR
+block (Section 3.4).  Every register access therefore pays an I2C
+transaction — orders of magnitude slower than a native FSI access, which
+is why firmware batches and retries around this path.
+
+Registers are 32-bit, addressed by a 16-bit CSR offset.  Devices expose a
+:class:`CsrBlock`; the bus adds transaction latency.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import FirmwareError
+from ..sim import Signal, Simulator
+from ..units import us_to_ps
+
+#: one I2C register transaction at 400 kHz (addr + data phases)
+I2C_TRANSACTION_PS = us_to_ps(120)
+
+
+class CsrBlock:
+    """A 32-bit register file with optional side-effect hooks."""
+
+    def __init__(self, name: str = "csr"):
+        self.name = name
+        self._regs: Dict[int, int] = {}
+        self._write_hooks: Dict[int, Callable[[int], None]] = {}
+        self._read_hooks: Dict[int, Callable[[], int]] = {}
+
+    def define(
+        self,
+        offset: int,
+        reset_value: int = 0,
+        on_write: Optional[Callable[[int], None]] = None,
+        on_read: Optional[Callable[[], int]] = None,
+    ) -> None:
+        """Declare a register at ``offset`` with optional hooks."""
+        if offset in self._regs:
+            raise FirmwareError(f"{self.name}: register {offset:#x} already defined")
+        self._regs[offset] = reset_value
+        if on_write:
+            self._write_hooks[offset] = on_write
+        if on_read:
+            self._read_hooks[offset] = on_read
+
+    def read(self, offset: int) -> int:
+        if offset not in self._regs:
+            raise FirmwareError(f"{self.name}: read of undefined CSR {offset:#x}")
+        hook = self._read_hooks.get(offset)
+        if hook is not None:
+            self._regs[offset] = hook() & 0xFFFF_FFFF
+        return self._regs[offset]
+
+    def write(self, offset: int, value: int) -> None:
+        if offset not in self._regs:
+            raise FirmwareError(f"{self.name}: write of undefined CSR {offset:#x}")
+        value &= 0xFFFF_FFFF
+        self._regs[offset] = value
+        hook = self._write_hooks.get(offset)
+        if hook is not None:
+            hook(value)
+
+
+class I2cMaster:
+    """The on-card I2C master fronting the FPGA CSR block."""
+
+    def __init__(self, sim: Simulator, target: CsrBlock, name: str = "i2c"):
+        self.sim = sim
+        self.target = target
+        self.name = name
+        self.transactions = 0
+
+    def read_reg(self, offset: int) -> Signal:
+        """Read a CSR; signal fires with the value after the bus latency."""
+        done = Signal(f"{self.name}.rd{offset:#x}")
+        self.transactions += 1
+        self.sim.call_after(
+            I2C_TRANSACTION_PS, lambda: done.trigger(self.target.read(offset))
+        )
+        return done
+
+    def write_reg(self, offset: int, value: int) -> Signal:
+        done = Signal(f"{self.name}.wr{offset:#x}")
+        self.transactions += 1
+
+        def do_write():
+            self.target.write(offset, value)
+            done.trigger(None)
+
+        self.sim.call_after(I2C_TRANSACTION_PS, do_write)
+        return done

@@ -1,0 +1,87 @@
+"""DMI slot plug rules (Section 3.1).
+
+A ConTutto card is physically larger than a CDIMM: plugging one into a DMI
+slot blocks the adjacent slot, effectively removing two CDIMMs.  The
+POWER8 memory plug rules additionally restrict which slots can take a
+ConTutto at all.  We model the rules as:
+
+* ConTutto may only be plugged into even-numbered DMI slots (each even
+  slot has the clearance of its odd neighbour);
+* a ConTutto in slot ``2k`` blocks slot ``2k + 1``;
+* CDIMMs may occupy any unblocked slot;
+* at most one card per slot.
+
+The configurations the paper validated — one ConTutto with six CDIMMs, and
+two ConTuttos with four CDIMMs — both satisfy these rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from ..errors import PlugRuleError
+
+NUM_SLOTS = 8
+
+
+@dataclass(frozen=True)
+class PluggedCard:
+    """One card in the plug plan."""
+
+    slot: int
+    kind: str  # "centaur" | "contutto"
+
+
+def blocked_slots(cards: List[PluggedCard]) -> Set[int]:
+    """Slots rendered unusable by oversized cards."""
+    return {card.slot + 1 for card in cards if card.kind == "contutto"}
+
+
+def validate_plug_plan(cards: List[PluggedCard]) -> None:
+    """Check a plug plan against the rules; raises :class:`PlugRuleError`."""
+    seen: Dict[int, str] = {}
+    for card in cards:
+        if not 0 <= card.slot < NUM_SLOTS:
+            raise PlugRuleError(f"slot {card.slot} does not exist (0..{NUM_SLOTS - 1})")
+        if card.kind not in ("centaur", "contutto"):
+            raise PlugRuleError(f"unknown card kind {card.kind!r}")
+        if card.slot in seen:
+            raise PlugRuleError(f"slot {card.slot} plugged twice")
+        seen[card.slot] = card.kind
+        if card.kind == "contutto" and card.slot % 2 != 0:
+            raise PlugRuleError(
+                f"ConTutto in slot {card.slot}: only even DMI slots accept the card"
+            )
+    blocked = blocked_slots(cards)
+    for card in cards:
+        if card.slot in blocked and seen.get(card.slot - 1) == "contutto":
+            raise PlugRuleError(
+                f"slot {card.slot} is blocked by the ConTutto in slot {card.slot - 1}"
+            )
+
+
+def max_cdimms_with(num_contutto: int) -> int:
+    """How many CDIMMs fit alongside ``num_contutto`` ConTutto cards.
+
+    Each ConTutto consumes its own slot and blocks one neighbour.
+    """
+    if not 0 <= num_contutto <= NUM_SLOTS // 2:
+        raise PlugRuleError(
+            f"at most {NUM_SLOTS // 2} ConTutto cards fit in {NUM_SLOTS} slots"
+        )
+    return NUM_SLOTS - 2 * num_contutto
+
+
+def paper_config_one_contutto() -> List[PluggedCard]:
+    """1x ConTutto + 6x CDIMM — a configuration the paper tested."""
+    return [PluggedCard(0, "contutto")] + [
+        PluggedCard(slot, "centaur") for slot in range(2, 8)
+    ]
+
+
+def paper_config_two_contutto() -> List[PluggedCard]:
+    """2x ConTutto + 4x CDIMM — the other tested configuration."""
+    return [PluggedCard(0, "contutto"), PluggedCard(2, "contutto")] + [
+        PluggedCard(slot, "centaur") for slot in range(4, 8)
+    ]

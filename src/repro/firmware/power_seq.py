@@ -1,0 +1,112 @@
+"""FPGA power sequencing (Section 3.2).
+
+ConTutto generates its ancillary voltages locally from the 12 V GPU power
+connector: switching regulators for the high-current core and I/O rails,
+LDOs for the quiet analog rails feeding the high-speed serial channels.
+The service processor must bring the rails up in the order the FPGA's
+power-sequencing guidelines demand, and tear them down in reverse; doing
+otherwise risks latch-up — modeled here as a hard error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import PowerSequenceError
+from ..sim import Signal, Simulator
+from ..units import us_to_ps
+
+
+@dataclass(frozen=True)
+class VoltageRail:
+    """One supply rail on the card."""
+
+    name: str
+    volts: float
+    #: bring-up order (lower first); teardown is the reverse
+    order: int
+    #: regulator type: switching for high current, LDO for quiet analog
+    regulator: str = "switching"
+    #: soft-start ramp time
+    ramp_us: float = 200.0
+
+
+#: the ConTutto rail set, derived from the single bulk 12 V input
+CONTUTTO_RAILS = [
+    VoltageRail("VCC_core", 0.85, order=0, regulator="switching", ramp_us=300),
+    VoltageRail("VCCIO", 1.5, order=1, regulator="switching", ramp_us=200),
+    VoltageRail("VCCPD", 2.5, order=2, regulator="switching", ramp_us=200),
+    VoltageRail("VCCA_GXB", 2.5, order=3, regulator="ldo", ramp_us=150),
+    VoltageRail("VCCT_GXB", 1.0, order=4, regulator="ldo", ramp_us=150),
+]
+
+
+class PowerSequencer:
+    """Drives the card's rails under FSP control, enforcing ordering."""
+
+    def __init__(self, sim: Simulator, rails: List[VoltageRail] = None, name: str = "pwr"):
+        self.sim = sim
+        self.name = name
+        self.rails = sorted(rails or CONTUTTO_RAILS, key=lambda r: r.order)
+        self._up = {rail.name: False for rail in self.rails}
+        self.sequences_completed = 0
+        self.faults = 0
+
+    # -- single-rail control (the FSP drives these in order) ----------------
+
+    def rail_up(self, rail_name: str) -> None:
+        rail = self._find(rail_name)
+        for earlier in self.rails:
+            if earlier.order < rail.order and not self._up[earlier.name]:
+                self.faults += 1
+                raise PowerSequenceError(
+                    f"{self.name}: {rail.name} raised before {earlier.name}"
+                )
+        self._up[rail.name] = True
+
+    def rail_down(self, rail_name: str) -> None:
+        rail = self._find(rail_name)
+        for later in self.rails:
+            if later.order > rail.order and self._up[later.name]:
+                self.faults += 1
+                raise PowerSequenceError(
+                    f"{self.name}: {rail.name} dropped before {later.name}"
+                )
+        self._up[rail.name] = False
+
+    def _find(self, rail_name: str) -> VoltageRail:
+        for rail in self.rails:
+            if rail.name == rail_name:
+                return rail
+        raise PowerSequenceError(f"{self.name}: unknown rail {rail_name!r}")
+
+    # -- full sequences -----------------------------------------------------------
+
+    def power_on(self) -> Signal:
+        """Bring every rail up in order; signal fires when stable."""
+        done = Signal(f"{self.name}.on")
+        total_ps = 0
+        for rail in self.rails:
+            self.rail_up(rail.name)
+            total_ps += us_to_ps(rail.ramp_us)
+        self.sequences_completed += 1
+        self.sim.call_after(total_ps, done.trigger)
+        return done
+
+    def power_off(self) -> Signal:
+        done = Signal(f"{self.name}.off")
+        total_ps = 0
+        for rail in reversed(self.rails):
+            self.rail_down(rail.name)
+            total_ps += us_to_ps(50)
+        self.sim.call_after(total_ps, done.trigger)
+        return done
+
+    @property
+    def all_up(self) -> bool:
+        return all(self._up.values())
+
+    @property
+    def all_down(self) -> bool:
+        return not any(self._up.values())

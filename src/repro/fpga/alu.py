@@ -1,0 +1,110 @@
+"""The read-modify-write ALU shared by command engines.
+
+One ALU sits on the path to each Avalon write port and is shared among the
+16 command engines that use that port (Section 3.3, MBS).  For plain writes
+it is a NOP pass-through; for partial writes it merges bytes under the
+byte-enable mask; for the in-line acceleration extensions it computes
+min-store / max-store / conditional-swap on the cache line.
+
+Arithmetic ops treat the 128-byte line as 32 little-endian signed 32-bit
+lanes (the min/max accelerator of Table 5 operates on 32-bit integers).
+Conditional swap compares lane 0 against an expected value and, on match,
+replaces the whole line — the line-granular analogue of compare-and-swap.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+from ..dmi.commands import Opcode
+from ..errors import AccelError
+from ..sim import ClockDomain, Simulator, fabric_clock
+from ..units import CACHE_LINE_BYTES
+
+LANES = CACHE_LINE_BYTES // 4  # 32 x int32
+_PACK = struct.Struct(f"<{LANES}i")
+
+
+def _lanes(line: bytes) -> Tuple[int, ...]:
+    return _PACK.unpack(line)
+
+
+def _pack(values) -> bytes:
+    return _PACK.pack(*values)
+
+
+def merge_partial(old: bytes, new: bytes, byte_enable: bytes) -> bytes:
+    """Byte-enable merge for partial (read-modify-write) line writes."""
+    if not (len(old) == len(new) == len(byte_enable) == CACHE_LINE_BYTES):
+        raise AccelError("partial merge requires three 128B operands")
+    merged = bytearray(old)
+    for i, enabled in enumerate(byte_enable):
+        if enabled:
+            merged[i] = new[i]
+    return bytes(merged)
+
+
+def min_store(old: bytes, new: bytes) -> bytes:
+    """Element-wise minimum over 32-bit signed lanes."""
+    return _pack(min(a, b) for a, b in zip(_lanes(old), _lanes(new)))
+
+
+def max_store(old: bytes, new: bytes) -> bytes:
+    """Element-wise maximum over 32-bit signed lanes."""
+    return _pack(max(a, b) for a, b in zip(_lanes(old), _lanes(new)))
+
+
+def conditional_swap(old: bytes, new: bytes) -> Tuple[bytes, bytes]:
+    """Line-granular compare-and-swap.
+
+    ``new`` lane 0 carries the expected value; if ``old`` lane 0 matches,
+    the line is replaced by ``new``.  Returns ``(stored_line, returned_line)``
+    where the returned line is the pre-swap contents (sent upstream so the
+    processor can detect success without polling).
+    """
+    old_lanes = _lanes(old)
+    expected = _lanes(new)[0]
+    if old_lanes[0] == expected:
+        return new, old
+    return old, old
+
+
+class RmwAlu:
+    """The shared ALU with single-issue occupancy accounting."""
+
+    def __init__(self, sim: Simulator, name: str, clock: ClockDomain = None):
+        self.sim = sim
+        self.name = name
+        self.clock = clock or fabric_clock()
+        self._busy_until_ps = 0
+        # Stats
+        self.ops = 0
+        self.contended_ps = 0
+
+    def issue(self, opcode: Opcode, old: bytes, new: bytes, byte_enable=None):
+        """Compute the op; returns ``(stored, returned, ready_ps)``.
+
+        ``ready_ps`` accounts for one execution cycle plus any wait behind
+        another engine currently occupying this ALU.
+        """
+        start = max(self.sim.now_ps, self._busy_until_ps)
+        self.contended_ps += start - self.sim.now_ps
+        ready = start + self.clock.period_ps
+        self._busy_until_ps = ready
+        self.ops += 1
+
+        if opcode is Opcode.WRITE:
+            return new, None, ready  # NOP pass-through
+        if opcode is Opcode.PARTIAL_WRITE:
+            if byte_enable is None:
+                raise AccelError("partial write through ALU needs byte enables")
+            return merge_partial(old, new, byte_enable), None, ready
+        if opcode is Opcode.MIN_STORE:
+            return min_store(old, new), None, ready
+        if opcode is Opcode.MAX_STORE:
+            return max_store(old, new), None, ready
+        if opcode is Opcode.CSWAP:
+            stored, returned = conditional_swap(old, new)
+            return stored, returned, ready
+        raise AccelError(f"ALU does not implement {opcode.value}")

@@ -1,0 +1,159 @@
+"""FPGA resource accounting for the ConTutto design (Table 1).
+
+The card uses an Altera Stratix V A9.  Table 1 reports the base design
+using 136,856 ALMs (43%), 191,403 registers (30%) and 244 M20K blocks (9%),
+"leaving a significant portion of resources for architectural exploration
+and in-memory application acceleration".
+
+We reproduce the table from a structural cost model: each logic block of
+Figure 4 carries an ALM/register/M20K cost, and the design's utilization is
+the sum over instantiated blocks.  The per-block numbers are calibrated so
+the base design reproduces Table 1 exactly; accelerators then consume the
+*remaining* budget, and over-subscription is a configuration error — the
+same constraint a real fit would enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """FPGA resource cost of one logic block."""
+
+    alms: int
+    registers: int
+    m20k: int
+
+    def __add__(self, other: "BlockCost") -> "BlockCost":
+        return BlockCost(
+            self.alms + other.alms,
+            self.registers + other.registers,
+            self.m20k + other.m20k,
+        )
+
+    def scaled(self, count: int) -> "BlockCost":
+        return BlockCost(self.alms * count, self.registers * count, self.m20k * count)
+
+
+ZERO_COST = BlockCost(0, 0, 0)
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Resource capacity of an FPGA part."""
+
+    name: str
+    alms: int
+    registers: int
+    m20k: int
+
+
+#: the part on the ConTutto card, with the Table 1 "Available" numbers
+STRATIX_V_A9 = FpgaDevice("Stratix V A9", alms=317_000, registers=634_000, m20k=2_640)
+
+
+#: per-block costs of the base ConTutto design (Figure 4), calibrated so the
+#: base design sums exactly to Table 1's utilized numbers.
+BASE_BLOCK_COSTS: Dict[str, BlockCost] = {
+    "dmi_phy": BlockCost(18_000, 30_000, 24),
+    "mbi": BlockCost(16_000, 25_000, 40),           # handshake + replay buffers
+    "mbs_core": BlockCost(14_000, 20_000, 16),      # 2 decoders, arbiter, read handler
+    "command_engine": BlockCost(1_200, 1_600, 1),   # x32
+    "rmw_alu": BlockCost(2_500, 3_000, 0),          # x2 (one per write port)
+    "avalon": BlockCost(9_000, 14_000, 24),
+    "ddr3_controller": BlockCost(16_000, 20_000, 48),  # x2 (one per DIMM slot)
+    "support": BlockCost(4_456, 5_203, 12),         # FSI/I2C CSRs, clocking, misc
+}
+
+#: costs of optional blocks added for the acceleration use cases
+ACCEL_BLOCK_COSTS: Dict[str, BlockCost] = {
+    "access_processor": BlockCost(12_000, 16_000, 32),
+    "memcopy_engine": BlockCost(3_000, 5_000, 8),
+    "minmax_engine": BlockCost(4_000, 6_000, 4),
+    "fft_engine": BlockCost(22_000, 30_000, 64),
+    "inline_accel_ext": BlockCost(2_000, 2_600, 0),  # augmented command engines
+}
+
+
+class DesignResources:
+    """Accumulates block instances and checks them against the device."""
+
+    def __init__(self, device: FpgaDevice = STRATIX_V_A9):
+        self.device = device
+        self._blocks: List[Tuple[str, int, BlockCost]] = []
+
+    def add(self, name: str, count: int = 1, cost: BlockCost = None) -> None:
+        """Add ``count`` instances of a named block.
+
+        ``cost`` defaults to the catalog entry for ``name``; unknown names
+        require an explicit cost.
+        """
+        if cost is None:
+            cost = BASE_BLOCK_COSTS.get(name) or ACCEL_BLOCK_COSTS.get(name)
+            if cost is None:
+                raise ConfigurationError(f"unknown block {name!r} and no cost given")
+        if count <= 0:
+            raise ConfigurationError(f"block count must be positive, got {count}")
+        self._blocks.append((name, count, cost))
+        total = self.total()
+        if (
+            total.alms > self.device.alms
+            or total.registers > self.device.registers
+            or total.m20k > self.device.m20k
+        ):
+            raise ConfigurationError(
+                f"design does not fit {self.device.name}: "
+                f"{total.alms} ALMs / {total.registers} regs / {total.m20k} M20K"
+            )
+
+    def total(self) -> BlockCost:
+        out = ZERO_COST
+        for _, count, cost in self._blocks:
+            out = out + cost.scaled(count)
+        return out
+
+    def utilization(self) -> Dict[str, float]:
+        """Fraction of the device used, per resource class."""
+        total = self.total()
+        return {
+            "alms": total.alms / self.device.alms,
+            "registers": total.registers / self.device.registers,
+            "m20k": total.m20k / self.device.m20k,
+        }
+
+    def headroom(self) -> BlockCost:
+        """Resources still free for exploration/acceleration."""
+        total = self.total()
+        return BlockCost(
+            self.device.alms - total.alms,
+            self.device.registers - total.registers,
+            self.device.m20k - total.m20k,
+        )
+
+    def table(self) -> List[Tuple[str, int, int]]:
+        """(resource, available, utilized) rows — the shape of Table 1."""
+        total = self.total()
+        return [
+            ("ALMs", self.device.alms, total.alms),
+            ("Registers", self.device.registers, total.registers),
+            ("M20K", self.device.m20k, total.m20k),
+        ]
+
+
+def base_design_resources(device: FpgaDevice = STRATIX_V_A9) -> DesignResources:
+    """Resource accounting for the base (Centaur-replacement) design."""
+    design = DesignResources(device)
+    design.add("dmi_phy")
+    design.add("mbi")
+    design.add("mbs_core")
+    design.add("command_engine", count=32)
+    design.add("rmw_alu", count=2)
+    design.add("avalon")
+    design.add("ddr3_controller", count=2)
+    design.add("support")
+    return design

@@ -1,0 +1,130 @@
+"""The ConTutto card's ternary CAM (Section 3.2, future-expansion block).
+
+"The TCAM is a ternary CAM, which could be potentially used to contain
+routing tables or tag entries on a data cache or for the acceleration of
+other applications requiring look-up."
+
+A ternary CAM matches a search key against stored (value, mask) pairs
+where masked bits are don't-cares; among all matching entries the one with
+the lowest index wins (hardware priority encoder).  Every lookup completes
+in one device cycle regardless of occupancy — the property that makes CAMs
+worth their silicon.
+
+The model is functional (real longest-prefix-match behaviour, usable for
+routing-table experiments) and timed (single-cycle search, per-entry write
+timing), and it charges the FPGA resource budget like any other block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import AccelError, ConfigurationError
+from ..sim import ClockDomain, Simulator, fabric_clock
+from .resources import ACCEL_BLOCK_COSTS, BlockCost
+
+#: resource cost of the TCAM macro (registered into the accelerator catalog)
+TCAM_BLOCK_COST = BlockCost(6_000, 9_000, 16)
+ACCEL_BLOCK_COSTS.setdefault("tcam", TCAM_BLOCK_COST)
+
+
+@dataclass(frozen=True)
+class TcamEntry:
+    """One stored word: ``value`` compared only where ``mask`` bits are 1."""
+
+    value: int
+    mask: int
+
+    def matches(self, key: int) -> bool:
+        return (key ^ self.value) & self.mask == 0
+
+
+class TernaryCam:
+    """A priority-encoded ternary CAM with single-cycle search."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        entries: int = 1024,
+        key_bits: int = 64,
+        clock: Optional[ClockDomain] = None,
+        name: str = "tcam",
+    ):
+        if entries <= 0:
+            raise ConfigurationError(f"{name}: entry count must be positive")
+        if not 1 <= key_bits <= 128:
+            raise ConfigurationError(f"{name}: key width {key_bits} unsupported")
+        self.sim = sim
+        self.capacity = entries
+        self.key_bits = key_bits
+        self.clock = clock or fabric_clock()
+        self.name = name
+        self._entries: List[Optional[TcamEntry]] = [None] * entries
+        self._busy_until_ps = 0
+        # Stats
+        self.lookups = 0
+        self.hits = 0
+
+    # -- management ---------------------------------------------------------
+
+    def _check_word(self, word: int, label: str) -> None:
+        if not 0 <= word < (1 << self.key_bits):
+            raise AccelError(f"{self.name}: {label} exceeds {self.key_bits} bits")
+
+    def write(self, index: int, value: int, mask: int) -> int:
+        """Program an entry; returns the completion time (ps)."""
+        if not 0 <= index < self.capacity:
+            raise AccelError(f"{self.name}: index {index} out of range")
+        self._check_word(value, "value")
+        self._check_word(mask, "mask")
+        self._entries[index] = TcamEntry(value, mask)
+        # entry writes serialize: two cycles (value + mask planes)
+        start = max(self.sim.now_ps, self._busy_until_ps)
+        finish = start + 2 * self.clock.period_ps
+        self._busy_until_ps = finish
+        return finish
+
+    def invalidate(self, index: int) -> None:
+        if not 0 <= index < self.capacity:
+            raise AccelError(f"{self.name}: index {index} out of range")
+        self._entries[index] = None
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for e in self._entries if e is not None)
+
+    # -- search ----------------------------------------------------------------
+
+    def lookup(self, key: int) -> Tuple[Optional[int], int]:
+        """Search for ``key``; returns (matching index or None, finish ps).
+
+        One cycle regardless of occupancy — every entry compares in
+        parallel and a priority encoder picks the lowest matching index.
+        """
+        self._check_word(key, "key")
+        self.lookups += 1
+        start = max(self.sim.now_ps, self._busy_until_ps)
+        finish = start + self.clock.period_ps
+        self._busy_until_ps = finish
+        for index, entry in enumerate(self._entries):
+            if entry is not None and entry.matches(key):
+                self.hits += 1
+                return index, finish
+        return None, finish
+
+    # -- convenience: longest-prefix-match routing table ---------------------------
+
+    def add_prefix_route(self, index: int, prefix: int, prefix_len: int) -> None:
+        """Store an IP-style prefix route (prefix_len leading bits matter).
+
+        For correct longest-prefix semantics, install longer prefixes at
+        lower indices (the priority encoder then prefers them).
+        """
+        if not 0 <= prefix_len <= self.key_bits:
+            raise AccelError(f"{self.name}: prefix length {prefix_len} invalid")
+        if prefix_len == 0:
+            mask = 0
+        else:
+            mask = ((1 << prefix_len) - 1) << (self.key_bits - prefix_len)
+        self.write(index, prefix & mask, mask)

@@ -1,0 +1,74 @@
+"""Memory devices: DRAM, STT-MRAM, NVDIMM-N, NAND flash, SPD, endurance."""
+
+from .backing import BLOCK_BYTES, SparseBacking
+from .ddr3_controller import MemoryController, MemoryControllerConfig
+from .device import MemoryDevice
+from .dram import DDR3_1066, DDR3_1333, DDR3_1600, Ddr3Timing, DdrDram
+from .endurance import (
+    ENDURANCE_3DXP,
+    ENDURANCE_DRAM,
+    ENDURANCE_MLC_NAND,
+    ENDURANCE_RERAM,
+    ENDURANCE_SLC_NAND,
+    ENDURANCE_STT_MRAM,
+    ENDURANCE_TLC_NAND,
+    FIGURE8_TECHNOLOGIES,
+    EnduranceSpec,
+    WearTracker,
+    memory_bus_lifetime_s,
+)
+from .ecc import (
+    UncorrectableEccError,
+    decode_line,
+    decode_word,
+    encode_line,
+    encode_word,
+)
+from .flash import FlashTiming, NandFlash
+from .nvdimm import NvdimmN, NvdimmState, SupercapSpec
+from .scrubber import PatrolScrubber, ScrubConfig
+from .spd import SPD_BYTES, SpdData, spd_for_device
+from .sttmram import IMTJ_TIMING, PMTJ_TIMING, MramTiming, SttMram
+
+__all__ = [
+    "BLOCK_BYTES",
+    "DDR3_1066",
+    "DDR3_1333",
+    "DDR3_1600",
+    "Ddr3Timing",
+    "DdrDram",
+    "ENDURANCE_3DXP",
+    "ENDURANCE_DRAM",
+    "ENDURANCE_MLC_NAND",
+    "ENDURANCE_RERAM",
+    "ENDURANCE_SLC_NAND",
+    "ENDURANCE_STT_MRAM",
+    "ENDURANCE_TLC_NAND",
+    "EnduranceSpec",
+    "FIGURE8_TECHNOLOGIES",
+    "FlashTiming",
+    "IMTJ_TIMING",
+    "MemoryController",
+    "MemoryControllerConfig",
+    "MemoryDevice",
+    "MramTiming",
+    "NandFlash",
+    "NvdimmN",
+    "NvdimmState",
+    "PMTJ_TIMING",
+    "PatrolScrubber",
+    "ScrubConfig",
+    "SPD_BYTES",
+    "SparseBacking",
+    "SpdData",
+    "SttMram",
+    "SupercapSpec",
+    "UncorrectableEccError",
+    "WearTracker",
+    "decode_line",
+    "decode_word",
+    "encode_line",
+    "encode_word",
+    "memory_bus_lifetime_s",
+    "spd_for_device",
+]

@@ -1,0 +1,79 @@
+"""Sparse byte-addressable backing store for memory devices.
+
+Devices in this library are *functional*: a write followed by a read returns
+the written bytes, across gigabyte-scale address spaces.  Allocating real
+buffers for a 1 TB memory map is obviously out; :class:`SparseBacking` keeps
+only the blocks that have ever been written and reads zeros elsewhere
+(matching hardware that initializes to zero after ECC scrub).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import AddressRangeError
+
+BLOCK_BYTES = 4096
+
+
+class SparseBacking:
+    """A sparse array of bytes with a fixed capacity."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise AddressRangeError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: Dict[int, bytearray] = {}
+
+    def _check_range(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.capacity_bytes:
+            raise AddressRangeError(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside capacity "
+                f"{self.capacity_bytes:#x}"
+            )
+
+    def read(self, addr: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` starting at ``addr`` (zeros where never written)."""
+        self._check_range(addr, nbytes)
+        out = bytearray(nbytes)
+        pos = 0
+        while pos < nbytes:
+            block_no, offset = divmod(addr + pos, BLOCK_BYTES)
+            take = min(BLOCK_BYTES - offset, nbytes - pos)
+            block = self._blocks.get(block_no)
+            if block is not None:
+                out[pos : pos + take] = block[offset : offset + take]
+            pos += take
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at ``addr``."""
+        self._check_range(addr, len(data))
+        pos = 0
+        while pos < len(data):
+            block_no, offset = divmod(addr + pos, BLOCK_BYTES)
+            take = min(BLOCK_BYTES - offset, len(data) - pos)
+            block = self._blocks.get(block_no)
+            if block is None:
+                block = bytearray(BLOCK_BYTES)
+                self._blocks[block_no] = block
+            block[offset : offset + take] = data[pos : pos + take]
+            pos += take
+
+    def fill(self, addr: int, nbytes: int, value: int) -> None:
+        """Fill a range with a byte value (used by scrub/erase models)."""
+        self.write(addr, bytes([value]) * nbytes)
+
+    def clear(self) -> None:
+        """Drop all contents (power loss on a volatile device)."""
+        self._blocks.clear()
+
+    def copy_into(self, other: "SparseBacking") -> None:
+        """Copy every written block into ``other`` (NVDIMM save/restore)."""
+        for block_no, block in self._blocks.items():
+            other.write(block_no * BLOCK_BYTES, bytes(block))
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of host memory actually allocated (diagnostics)."""
+        return len(self._blocks) * BLOCK_BYTES

@@ -1,0 +1,89 @@
+"""Base interface for memory devices behind a memory controller.
+
+A device is *functional* (it stores and returns real bytes) and *timed*
+(each access reports when it completes, given when it starts).  Timing is
+computed analytically inside the device from its internal state — bank
+timers, endurance counters, power state — so the caller never needs to poll.
+
+The contract:
+
+* ``read(addr, nbytes, now_ps)`` returns ``(data, finish_ps)``,
+* ``write(addr, data, now_ps)`` returns ``finish_ps``,
+
+where ``finish_ps >= now_ps`` is the simulated completion time.  Devices are
+in charge of serializing internal resources (a second access to a busy bank
+starts only when the bank frees up), so calls made in simulated-time order
+yield correct queueing behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import AlignmentError, MemoryError_
+from .backing import SparseBacking
+
+
+class MemoryDevice:
+    """Abstract functional+timed memory device."""
+
+    #: device category string used by SPD / firmware ("dram", "mram", ...)
+    technology: str = "abstract"
+    #: whether contents survive power removal
+    non_volatile: bool = False
+
+    def __init__(self, capacity_bytes: int, name: str = ""):
+        self.capacity_bytes = capacity_bytes
+        self.name = name or type(self).__name__
+        self.backing = SparseBacking(capacity_bytes)
+        self.powered = True
+        # Stats
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- functional + timed access (implemented by subclasses) -------------
+
+    def read(self, addr: int, nbytes: int, now_ps: int) -> Tuple[bytes, int]:
+        """Read bytes; returns (data, completion time)."""
+        raise NotImplementedError
+
+    def write(self, addr: int, data: bytes, now_ps: int) -> int:
+        """Write bytes; returns completion time."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _precheck(self, addr: int, nbytes: int) -> None:
+        if not self.powered:
+            raise MemoryError_(f"{self.name}: access while powered off")
+        if nbytes <= 0:
+            raise AlignmentError(f"{self.name}: access size must be positive")
+
+    def _account_read(self, addr: int, nbytes: int) -> bytes:
+        self.reads += 1
+        self.bytes_read += nbytes
+        return self.backing.read(addr, nbytes)
+
+    def _account_write(self, addr: int, data: bytes) -> None:
+        self.writes += 1
+        self.bytes_written += len(data)
+        self.backing.write(addr, data)
+
+    # -- power events --------------------------------------------------------
+
+    def power_off(self) -> None:
+        """Remove power.  Volatile devices lose their contents."""
+        self.powered = False
+        if not self.non_volatile:
+            self.backing.clear()
+
+    def power_on(self) -> None:
+        self.powered = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.name} "
+            f"{self.capacity_bytes // (1 << 20)} MiB {self.technology}>"
+        )

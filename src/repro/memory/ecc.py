@@ -1,0 +1,168 @@
+"""SEC-DED ECC for the DRAM path (extended Hamming (72,64)).
+
+Server DIMMs store eight check bits per 64-bit word; the memory controller
+corrects any single-bit error per word and *detects* any double-bit error
+(flagging it uncorrectable).  The DMI link already has CRC+replay for
+transfer errors; ECC covers the cells themselves — and it is what lets the
+FSP's error-log policy distinguish "correctable noise, keep going" from
+"deconfigure the DIMM".
+
+Implementation: classic extended Hamming.  Check bits live at power-of-two
+positions of a 1-indexed 72-bit codeword, plus an overall parity bit.
+Syndrome decoding:
+
+=========  ==============  =======================================
+syndrome   overall parity  meaning
+=========  ==============  =======================================
+0          even            clean word
+s != 0     odd             single-bit error at position ``s`` — corrected
+s != 0     even            double-bit error — uncorrectable
+0          odd             error in the overall parity bit itself
+=========  ==============  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import MemoryError_
+
+DATA_BITS = 64
+#: parity bits at positions 1, 2, 4, 8, 16, 32, 64 of the 1-indexed codeword
+_PARITY_POSITIONS = [1 << i for i in range(7)]
+CODEWORD_BITS = DATA_BITS + len(_PARITY_POSITIONS)  # 71 + overall parity
+WORD_BYTES = 8
+CHECK_BYTES = 1  # 7 Hamming bits + 1 overall parity, packed into one byte
+
+
+class UncorrectableEccError(MemoryError_):
+    """A word suffered a multi-bit error beyond SEC-DED's reach."""
+
+
+def _data_positions() -> List[int]:
+    """Codeword positions (1-indexed) holding data bits, in order."""
+    return [
+        pos for pos in range(1, CODEWORD_BITS + 1) if pos not in _PARITY_POSITIONS
+    ]
+
+
+_DATA_POSITIONS = _data_positions()
+
+
+def _spread(data: int) -> int:
+    """Place 64 data bits into their codeword positions (parity bits zero)."""
+    word = 0
+    for bit_index, pos in enumerate(_DATA_POSITIONS):
+        if (data >> bit_index) & 1:
+            word |= 1 << (pos - 1)
+    return word
+
+
+def _collect(codeword: int) -> int:
+    """Extract the 64 data bits back out of a codeword."""
+    data = 0
+    for bit_index, pos in enumerate(_DATA_POSITIONS):
+        if (codeword >> (pos - 1)) & 1:
+            data |= 1 << bit_index
+    return data
+
+
+def _parity_of(codeword: int, parity_pos: int) -> int:
+    """Parity over all positions whose index has the parity bit set."""
+    parity = 0
+    for pos in range(1, CODEWORD_BITS + 1):
+        if pos & parity_pos and pos != parity_pos:
+            parity ^= (codeword >> (pos - 1)) & 1
+    return parity
+
+
+def encode_word(data: int) -> Tuple[int, int]:
+    """Encode a 64-bit word; returns (codeword, check_byte).
+
+    ``check_byte`` packs the seven Hamming parities (bits 0-6) plus the
+    overall parity (bit 7) — the byte stored in the ECC device/lane.
+    """
+    if not 0 <= data < (1 << DATA_BITS):
+        raise MemoryError_(f"ECC encodes 64-bit words, got {data.bit_length()} bits")
+    codeword = _spread(data)
+    check = 0
+    for i, parity_pos in enumerate(_PARITY_POSITIONS):
+        bit = _parity_of(codeword, parity_pos)
+        if bit:
+            codeword |= 1 << (parity_pos - 1)
+            check |= 1 << i
+    overall = bin(codeword).count("1") & 1
+    check |= overall << 7
+    return codeword, check
+
+
+def decode_word(stored_data: int, check_byte: int) -> Tuple[int, int]:
+    """Verify/correct a stored word against its check byte.
+
+    Returns ``(corrected_data, corrected_bits)`` where ``corrected_bits``
+    is 0 (clean) or 1 (single error fixed).  Raises
+    :class:`UncorrectableEccError` on a double-bit error.
+    """
+    codeword = _spread(stored_data)
+    for i, parity_pos in enumerate(_PARITY_POSITIONS):
+        if (check_byte >> i) & 1:
+            codeword |= 1 << (parity_pos - 1)
+    stored_overall = (check_byte >> 7) & 1
+
+    syndrome = 0
+    for i, parity_pos in enumerate(_PARITY_POSITIONS):
+        recomputed = _parity_of(codeword, parity_pos)
+        stored = (codeword >> (parity_pos - 1)) & 1
+        if recomputed != stored:
+            syndrome |= parity_pos
+    overall_now = bin(codeword).count("1") & 1
+    overall_mismatch = overall_now != stored_overall
+
+    if syndrome == 0 and not overall_mismatch:
+        return _collect(codeword), 0
+    if syndrome == 0 and overall_mismatch:
+        # the overall parity bit itself flipped; data is intact
+        return _collect(codeword), 1
+    if overall_mismatch:
+        # odd number of flips with a nonzero syndrome: single-bit error
+        if syndrome > CODEWORD_BITS:
+            raise UncorrectableEccError(
+                f"syndrome {syndrome} points outside the codeword"
+            )
+        codeword ^= 1 << (syndrome - 1)
+        return _collect(codeword), 1
+    raise UncorrectableEccError(
+        f"double-bit error detected (syndrome {syndrome:#x})"
+    )
+
+
+# -- line-level helpers (128 B = 16 words) -----------------------------------
+
+
+def encode_line(line: bytes) -> bytes:
+    """Check bytes for a cache line: one per 8-byte word."""
+    if len(line) % WORD_BYTES:
+        raise MemoryError_("ECC lines must be a multiple of 8 bytes")
+    checks = bytearray()
+    for offset in range(0, len(line), WORD_BYTES):
+        word = int.from_bytes(line[offset : offset + WORD_BYTES], "little")
+        _, check = encode_word(word)
+        checks.append(check)
+    return bytes(checks)
+
+
+def decode_line(line: bytes, checks: bytes) -> Tuple[bytes, int]:
+    """Verify/correct a line; returns (corrected line, bits corrected)."""
+    if len(checks) * WORD_BYTES != len(line):
+        raise MemoryError_("check bytes do not match line length")
+    corrected = bytearray(line)
+    fixes = 0
+    for index, offset in enumerate(range(0, len(line), WORD_BYTES)):
+        word = int.from_bytes(line[offset : offset + WORD_BYTES], "little")
+        data, fixed = decode_word(word, checks[index])
+        fixes += fixed
+        if fixed:
+            corrected[offset : offset + WORD_BYTES] = data.to_bytes(
+                WORD_BYTES, "little"
+            )
+    return bytes(corrected), fixes

@@ -1,0 +1,100 @@
+"""NAND flash device model.
+
+Flash appears in two places in the platform: as the backup medium inside
+NVDIMM-N modules (bulk save/restore of DRAM contents on power events) and as
+the storage medium behind the PCIe-attached SSD/NVRAM baselines in the
+FIO experiments (Figures 9 and 10).
+
+The model captures what those experiments depend on:
+
+* page-granularity reads (~50 us) and programs (~600 us),
+* erase-before-program at block granularity (~3 ms),
+* an internal FTL-like remap so callers can overwrite logical pages while
+  the device erases/relocates underneath (modeled as amortized program cost
+  plus periodic erase stalls),
+* endurance accounting per erase block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..units import us_to_ps
+from .device import MemoryDevice
+from .endurance import ENDURANCE_MLC_NAND, EnduranceSpec, WearTracker
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """NAND operation latencies (MLC-era figures)."""
+
+    page_bytes: int = 16 << 10          # 16 KiB page
+    pages_per_block: int = 256          # 4 MiB erase block
+    read_page_ps: int = us_to_ps(50)
+    program_page_ps: int = us_to_ps(600)
+    erase_block_ps: int = us_to_ps(3_000)
+    #: fraction of programs that trigger a (modeled, amortized) erase
+    erase_amortization: float = 1.0 / 256
+
+    @property
+    def block_bytes(self) -> int:
+        return self.page_bytes * self.pages_per_block
+
+
+class NandFlash(MemoryDevice):
+    """A NAND flash die/package with page timing and wear tracking."""
+
+    technology = "nand"
+    non_volatile = True
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        timing: FlashTiming = FlashTiming(),
+        spec: EnduranceSpec = ENDURANCE_MLC_NAND,
+        name: str = "",
+        enforce_endurance: bool = False,
+    ):
+        super().__init__(capacity_bytes, name)
+        self.timing = timing
+        self.wear = WearTracker(spec, timing.block_bytes, enforce=enforce_endurance)
+        self._busy_until_ps = 0
+        self._programs_since_erase = 0
+        # Stats
+        self.page_reads = 0
+        self.page_programs = 0
+        self.block_erases = 0
+
+    def _pages_touched(self, addr: int, nbytes: int) -> int:
+        first = addr // self.timing.page_bytes
+        last = (addr + max(nbytes, 1) - 1) // self.timing.page_bytes
+        return last - first + 1
+
+    def read(self, addr: int, nbytes: int, now_ps: int) -> Tuple[bytes, int]:
+        self._precheck(addr, nbytes)
+        pages = self._pages_touched(addr, nbytes)
+        start = max(now_ps, self._busy_until_ps)
+        finish = start + pages * self.timing.read_page_ps
+        self._busy_until_ps = finish
+        self.page_reads += pages
+        return self._account_read(addr, nbytes), finish
+
+    def write(self, addr: int, data: bytes, now_ps: int) -> int:
+        self._precheck(addr, len(data))
+        pages = self._pages_touched(addr, len(data))
+        start = max(now_ps, self._busy_until_ps)
+        finish = start + pages * self.timing.program_page_ps
+        # Erase cost is amortized: every (1/erase_amortization) programs the
+        # FTL must reclaim a block before it can program.
+        self._programs_since_erase += pages
+        erase_every = max(1, int(round(1 / self.timing.erase_amortization)))
+        while self._programs_since_erase >= erase_every:
+            self._programs_since_erase -= erase_every
+            finish += self.timing.erase_block_ps
+            self.block_erases += 1
+        self._busy_until_ps = finish
+        self.page_programs += pages
+        self.wear.record_write(addr, len(data))
+        self._account_write(addr, data)
+        return finish

@@ -1,0 +1,149 @@
+"""NVDIMM-N: flash-backed DRAM with supercap-powered save/restore.
+
+An NVDIMM-N runs at DRAM speed during normal operation.  When power is
+removed, the module itself (not the FPGA or CPU) copies DRAM contents into
+on-module flash, powered by a supercapacitor; on restore, contents are
+copied back before the module reports ready.  The save/restore *sequence*
+is vendor-specific on DDR3 (Section 4.2(iii)) — the firmware package drives
+it via :mod:`repro.firmware`.
+
+The model enforces the physics that make the engineering interesting:
+
+* the supercap stores a finite energy budget; if the configured capacity
+  cannot be saved within it, the save fails and contents are lost;
+* accesses during SAVING/RESTORING are rejected;
+* a restore after a successful save returns the exact pre-power-loss bytes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import MemoryError_
+from ..units import ms_to_ps, us_to_ps
+from .device import MemoryDevice
+from .dram import Ddr3Timing, DdrDram
+from .flash import FlashTiming, NandFlash
+
+
+class NvdimmState(enum.Enum):
+    """Lifecycle of the module's save/restore machinery."""
+
+    NORMAL = "normal"
+    SAVING = "saving"
+    SAVED = "saved"
+    RESTORING = "restoring"
+    LOST = "lost"  # save failed; contents gone
+
+
+@dataclass(frozen=True)
+class SupercapSpec:
+    """Backup energy source: how long it can power a save."""
+
+    hold_up_ms: float = 60_000.0  # 60 s of backup power (typical bank)
+    #: save throughput from DRAM to on-module flash
+    save_bandwidth_mb_s: float = 400.0
+
+    def save_time_ms(self, capacity_bytes: int) -> float:
+        return capacity_bytes / (self.save_bandwidth_mb_s * 1e6) * 1e3
+
+    def can_save(self, capacity_bytes: int) -> bool:
+        return self.save_time_ms(capacity_bytes) <= self.hold_up_ms
+
+
+class NvdimmN(MemoryDevice):
+    """Flash-backed DRAM DIMM (JEDEC NVDIMM-N style)."""
+
+    technology = "nvdimm"
+    non_volatile = True  # via the save/restore mechanism
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        dram_timing: Ddr3Timing = Ddr3Timing(),
+        supercap: SupercapSpec = SupercapSpec(),
+        name: str = "",
+    ):
+        super().__init__(capacity_bytes, name)
+        self.dram = DdrDram(capacity_bytes, dram_timing, name=f"{self.name}.dram")
+        self.flash = NandFlash(
+            capacity_bytes, FlashTiming(), name=f"{self.name}.flash"
+        )
+        self.supercap = supercap
+        self.state = NvdimmState.NORMAL
+        # Stats
+        self.saves = 0
+        self.restores = 0
+        self.failed_saves = 0
+
+    # -- normal operation: DRAM speed ---------------------------------------
+
+    def _check_operational(self) -> None:
+        if self.state is not NvdimmState.NORMAL:
+            raise MemoryError_(
+                f"{self.name}: access while in {self.state.value} state"
+            )
+
+    def read(self, addr: int, nbytes: int, now_ps: int) -> Tuple[bytes, int]:
+        self._check_operational()
+        data, finish = self.dram.read(addr, nbytes, now_ps)
+        self.reads += 1
+        self.bytes_read += nbytes
+        return data, finish
+
+    def write(self, addr: int, data: bytes, now_ps: int) -> int:
+        self._check_operational()
+        finish = self.dram.write(addr, data, now_ps)
+        self.writes += 1
+        self.bytes_written += len(data)
+        return finish
+
+    # -- power events -----------------------------------------------------------
+
+    def power_loss(self, now_ps: int) -> int:
+        """Host power removed: save DRAM to flash on supercap energy.
+
+        Returns the simulated completion time of the save.  If the supercap
+        cannot hold up long enough, contents are lost and the device enters
+        the LOST state.
+        """
+        self._check_operational()
+        self.state = NvdimmState.SAVING
+        if not self.supercap.can_save(self.capacity_bytes):
+            self.failed_saves += 1
+            self.dram.backing.clear()
+            self.state = NvdimmState.LOST
+            return now_ps + ms_to_ps(self.supercap.hold_up_ms)
+        # copy DRAM contents into flash (module-internal bulk path)
+        self.dram.backing.copy_into(self.flash.backing)
+        self.dram.backing.clear()
+        self.saves += 1
+        self.state = NvdimmState.SAVED
+        return now_ps + ms_to_ps(self.supercap.save_time_ms(self.capacity_bytes))
+
+    def power_restore(self, now_ps: int) -> int:
+        """Host power returns: restore flash contents into DRAM.
+
+        Returns the completion time.  From the LOST state the module comes
+        back empty (like a plain DIMM after power loss).
+        """
+        if self.state not in (NvdimmState.SAVED, NvdimmState.LOST):
+            raise MemoryError_(
+                f"{self.name}: power_restore from {self.state.value} state"
+            )
+        was_saved = self.state is NvdimmState.SAVED
+        self.state = NvdimmState.RESTORING
+        restore_ps = us_to_ps(100)
+        if was_saved:
+            self.flash.backing.copy_into(self.dram.backing)
+            self.restores += 1
+            restore_ps = ms_to_ps(self.supercap.save_time_ms(self.capacity_bytes))
+        self.state = NvdimmState.NORMAL
+        return now_ps + restore_ps
+
+    @property
+    def contents_preserved(self) -> bool:
+        """Whether the last power cycle preserved contents."""
+        return self.state is not NvdimmState.LOST

@@ -1,0 +1,84 @@
+"""STT-MRAM device model.
+
+Spin-Transfer Torque Magnetic RAM presents a DDR3-compatible electrical
+interface (which is why ConTutto can drive it with a modified DDR3
+controller) but has different cell behaviour:
+
+* non-volatile — contents survive power removal with no save operation;
+* no refresh — the tREFI/tRFC machinery of DRAM does not exist;
+* reads comparable to DRAM; writes noticeably slower (the MTJ switching
+  time), which we model as an extra per-write cell-switching delay;
+* enormous endurance (~1e15 cycles) — the property Figure 8 celebrates.
+
+The paper's cards carried 256 MB MRAM DIMMs (two per card, 1 GB total
+across two cards), first iMTJ then pMTJ parts; pMTJ improves the write
+energy/latency, which the ``write_extra_ps`` parameter captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .device import MemoryDevice
+from .dram import Ddr3Timing
+from .endurance import ENDURANCE_STT_MRAM, WearTracker
+
+
+@dataclass(frozen=True)
+class MramTiming:
+    """MRAM timing: DDR3 bus timing plus cell-switching overheads."""
+
+    bus: Ddr3Timing = Ddr3Timing()
+    #: extra read latency vs DRAM array access (sense-amp margin)
+    read_extra_ps: int = 5_000
+    #: extra write latency (MTJ switching); iMTJ ~ 30 ns, pMTJ ~ 15 ns
+    write_extra_ps: int = 15_000
+
+
+IMTJ_TIMING = MramTiming(write_extra_ps=30_000, read_extra_ps=8_000)
+PMTJ_TIMING = MramTiming(write_extra_ps=15_000, read_extra_ps=5_000)
+
+
+class SttMram(MemoryDevice):
+    """An STT-MRAM DIMM behind a DDR3-style interface."""
+
+    technology = "mram"
+    non_volatile = True
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        timing: MramTiming = PMTJ_TIMING,
+        name: str = "",
+        enforce_endurance: bool = False,
+    ):
+        super().__init__(capacity_bytes, name)
+        self.timing = timing
+        self.wear = WearTracker(
+            ENDURANCE_STT_MRAM, unit_bytes=128, enforce=enforce_endurance
+        )
+        self._busy_until_ps = 0
+
+    def read(self, addr: int, nbytes: int, now_ps: int) -> Tuple[bytes, int]:
+        self._precheck(addr, nbytes)
+        t = self.timing
+        start = max(now_ps, self._busy_until_ps)
+        finish = (
+            start + t.bus.trcd_ps + t.bus.cas_ps + t.read_extra_ps + t.bus.burst_ps(nbytes)
+        )
+        self._busy_until_ps = finish
+        return self._account_read(addr, nbytes), finish
+
+    def write(self, addr: int, data: bytes, now_ps: int) -> int:
+        self._precheck(addr, len(data))
+        t = self.timing
+        start = max(now_ps, self._busy_until_ps)
+        finish = (
+            start + t.bus.trcd_ps + t.bus.cas_ps + t.write_extra_ps
+            + t.bus.burst_ps(len(data))
+        )
+        self._busy_until_ps = finish
+        self.wear.record_write(addr, len(data))
+        self._account_write(addr, data)
+        return finish

@@ -1,0 +1,44 @@
+"""POWER8 host side: socket, host memory controller, caches, CPU model."""
+
+from .caches import (
+    POWER8_HIERARCHY,
+    POWER8_L1D,
+    POWER8_L2,
+    POWER8_L3,
+    CacheHierarchy,
+    CacheLevel,
+)
+from .cpu_model import CpuModel, WorkloadProfile
+from .host_mc import HostMemoryController
+from .memmap import (
+    MIN_DMI_REGION_BYTES,
+    TOP_OF_MAP,
+    MemoryMap,
+    MemoryRegion,
+)
+from .power8 import (
+    NUM_DMI_CHANNELS,
+    ChannelSlot,
+    Power8Socket,
+    SocketConfig,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheLevel",
+    "ChannelSlot",
+    "CpuModel",
+    "HostMemoryController",
+    "MIN_DMI_REGION_BYTES",
+    "MemoryMap",
+    "MemoryRegion",
+    "NUM_DMI_CHANNELS",
+    "POWER8_HIERARCHY",
+    "POWER8_L1D",
+    "POWER8_L2",
+    "POWER8_L3",
+    "Power8Socket",
+    "SocketConfig",
+    "TOP_OF_MAP",
+    "WorkloadProfile",
+]

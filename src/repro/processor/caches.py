@@ -1,0 +1,76 @@
+"""Analytical POWER8 cache hierarchy for the CPU performance model.
+
+The latency-sensitivity experiments (Figures 6 and 7) run full applications;
+simulating them at instruction granularity is neither possible nor needed —
+what decides the result is how much of each application's time is exposed
+memory latency.  The hierarchy model supplies the per-level hit latencies
+and composes an average memory access time (AMAT) from per-workload hit
+rates, which :mod:`repro.processor.cpu_model` folds into a CPI stack.
+
+Level parameters approximate POWER8: 64 KB L1D (3 cycles), 512 KB L2
+(13 cycles), 8 MB eDRAM L3 per core (27 cycles), at 4 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the hierarchy."""
+
+    name: str
+    capacity_bytes: int
+    hit_latency_cycles: float
+
+
+POWER8_L1D = CacheLevel("L1D", 64 << 10, 3)
+POWER8_L2 = CacheLevel("L2", 512 << 10, 13)
+POWER8_L3 = CacheLevel("L3", 8 << 20, 27)
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """A stack of cache levels in front of memory."""
+
+    levels: tuple = (POWER8_L1D, POWER8_L2, POWER8_L3)
+    core_freq_ghz: float = 4.0
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        return cycles / self.core_freq_ghz
+
+    def amat_cycles(self, hit_rates: List[float], memory_latency_ns: float) -> float:
+        """Average memory access time in core cycles.
+
+        ``hit_rates[i]`` is the *local* hit rate of level i (fraction of
+        accesses reaching level i that hit there).  Whatever misses the last
+        level pays ``memory_latency_ns``.
+        """
+        if len(hit_rates) != len(self.levels):
+            raise ConfigurationError(
+                f"need {len(self.levels)} hit rates, got {len(hit_rates)}"
+            )
+        for rate in hit_rates:
+            if not 0 <= rate <= 1:
+                raise ConfigurationError(f"hit rate {rate} outside [0, 1]")
+        amat = 0.0
+        reach_prob = 1.0
+        for level, rate in zip(self.levels, hit_rates):
+            amat += reach_prob * rate * level.hit_latency_cycles
+            reach_prob *= 1 - rate
+        amat += reach_prob * memory_latency_ns * self.core_freq_ghz
+        return amat
+
+    def memory_access_fraction(self, hit_rates: List[float]) -> float:
+        """Fraction of accesses that go all the way to memory."""
+        reach = 1.0
+        for rate in hit_rates:
+            reach *= 1 - rate
+        return reach
+
+
+POWER8_HIERARCHY = CacheHierarchy()

@@ -1,0 +1,118 @@
+"""Processor-side DMI host memory controller.
+
+One of these fronts each populated DMI channel.  It owns the channel's
+32-tag window (Section 2.3): every command acquires a tag at issue and
+frees it when the buffer's *done* arrives.  When the buffer is slow enough
+that all 32 tags are outstanding, issue stalls — the throughput-throttling
+effect the paper calls out as a key design constraint for keeping the
+FPGA's round-trip latency low.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dmi import Command, DmiChannel, Opcode, TagPool
+from ..errors import ProtocolError
+from ..sim import LatencyRecorder, Signal, Simulator
+from ..units import CACHE_LINE_BYTES
+
+
+class HostMemoryController:
+    """Tag-managed command issue over one DMI channel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        channel: DmiChannel,
+        name: str = "",
+        num_tags: int = None,
+    ):
+        self.sim = sim
+        self.channel = channel
+        self.name = name or f"hmc.{channel.name}"
+        self.tags = TagPool(sim) if num_tags is None else TagPool(sim, num_tags)
+        self.latency = LatencyRecorder(f"{self.name}.cmd")
+
+    # -- generic issue ------------------------------------------------------
+
+    def _issue(self, opcode: Opcode, addr: int, data=None, byte_enable=None) -> Signal:
+        """Acquire a tag (waiting if the window is full) and issue.
+
+        The returned signal fires with the :class:`Response`; the tag is
+        released and the round-trip latency recorded first.
+        """
+        result = Signal(f"{self.name}.{opcode.value}@{addr:#x}")
+        issued_at = self.sim.now_ps
+
+        def with_tag(tag: int) -> None:
+            command = Command(opcode, addr, tag, data, byte_enable)
+            inner = self.channel.host.issue(command)
+
+            def complete(response) -> None:
+                self.tags.release(tag)
+                self.latency.record(self.sim.now_ps - issued_at)
+                result.trigger(response)
+
+            inner.add_waiter(complete)
+
+        tag = self.tags.try_acquire()
+        if tag is not None:
+            with_tag(tag)
+        else:
+            self._wait_for_tag(with_tag)
+        return result
+
+    def _wait_for_tag(self, callback) -> None:
+        gate = Signal(f"{self.name}.tagwait")
+        self.tags._waiters.append(gate)
+        self.tags.stall_events += 1
+        stall_start = self.sim.now_ps
+
+        def retry(_):
+            tag = self.tags.try_acquire()
+            if tag is None:
+                self._wait_for_tag(callback)
+            else:
+                self.tags.stall_ps += self.sim.now_ps - stall_start
+                callback(tag)
+
+        gate.add_waiter(retry)
+
+    # -- operations ------------------------------------------------------------
+
+    def read_line(self, addr: int) -> Signal:
+        """128B cache-line read; signal fires with the data bytes."""
+        result = Signal(f"{self.name}.rdline@{addr:#x}")
+        self._issue(Opcode.READ, addr).add_waiter(
+            lambda resp: result.trigger(resp.data)
+        )
+        return result
+
+    def write_line(self, addr: int, data: bytes) -> Signal:
+        if len(data) != CACHE_LINE_BYTES:
+            raise ProtocolError(f"write_line requires {CACHE_LINE_BYTES}B")
+        return self._issue(Opcode.WRITE, addr, data)
+
+    def partial_write(self, addr: int, data: bytes, byte_enable: bytes) -> Signal:
+        return self._issue(Opcode.PARTIAL_WRITE, addr, data, byte_enable)
+
+    def flush(self) -> Signal:
+        """ConTutto extension: drain the buffer's write pipeline."""
+        return self._issue(Opcode.FLUSH, 0)
+
+    def min_store(self, addr: int, data: bytes) -> Signal:
+        return self._issue(Opcode.MIN_STORE, addr, data)
+
+    def max_store(self, addr: int, data: bytes) -> Signal:
+        return self._issue(Opcode.MAX_STORE, addr, data)
+
+    def cswap(self, addr: int, data: bytes) -> Signal:
+        """Conditional swap; signal fires with the pre-swap line."""
+        return self._issue(Opcode.CSWAP, addr, data)
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return self.tags.in_flight_count

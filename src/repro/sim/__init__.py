@@ -1,0 +1,32 @@
+"""Discrete-event simulation kernel: deterministic time, processes, stats."""
+
+from .clock import (
+    ClockDomain,
+    centaur_core_clock,
+    dmi_link_clock,
+    fabric_clock,
+    nest_clock,
+)
+from .event import ScheduledCall, Signal
+from .kernel import Simulator
+from .process import Process, all_of
+from .rng import Rng
+from .stats import BandwidthMeter, Counter, LatencyRecorder, StatsRegistry
+
+__all__ = [
+    "BandwidthMeter",
+    "ClockDomain",
+    "Counter",
+    "LatencyRecorder",
+    "Process",
+    "Rng",
+    "ScheduledCall",
+    "Signal",
+    "Simulator",
+    "StatsRegistry",
+    "all_of",
+    "centaur_core_clock",
+    "dmi_link_clock",
+    "fabric_clock",
+    "nest_clock",
+]

@@ -1,0 +1,136 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the clock (integer picoseconds) and the event queue.
+Everything else in the library — DMI links, memory controllers, accelerators —
+is driven by callbacks and generator processes scheduled here.
+
+Design notes
+------------
+* Events with equal timestamps run in the order they were scheduled
+  (``(time_ps, seq)`` ordering), making runs bit-reproducible.
+* The kernel never consults wall-clock time or global randomness; anything
+  stochastic takes an explicit :class:`repro.sim.rng.Rng`.
+* Processes are plain generators (see :mod:`repro.sim.process`); the kernel
+  only knows about scheduled callbacks, keeping the core small and auditable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from ..errors import SimulationError
+from .event import ScheduledCall, Signal
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with picosecond resolution."""
+
+    def __init__(self) -> None:
+        self._now_ps = 0
+        self._seq = 0
+        self._queue: List[ScheduledCall] = []
+        self._running = False
+
+    # -- time ----------------------------------------------------------
+
+    @property
+    def now_ps(self) -> int:
+        """Current simulated time in picoseconds."""
+        return self._now_ps
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulated time in nanoseconds (convenience for reports)."""
+        return self._now_ps / 1_000
+
+    # -- scheduling ------------------------------------------------------
+
+    def call_at(self, time_ps: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` at absolute simulated time ``time_ps``."""
+        if time_ps < self._now_ps:
+            raise SimulationError(
+                f"cannot schedule in the past: {time_ps} < now {self._now_ps}"
+            )
+        call = ScheduledCall(time_ps, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, call)
+        return call
+
+    def call_after(self, delay_ps: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Schedule ``fn(*args)`` ``delay_ps`` picoseconds from now."""
+        if delay_ps < 0:
+            raise SimulationError(f"negative delay: {delay_ps}")
+        return self.call_at(self._now_ps + delay_ps, fn, *args)
+
+    def trigger_after(self, delay_ps: int, signal: Signal, value: Any = None) -> ScheduledCall:
+        """Trigger ``signal`` with ``value`` after ``delay_ps``."""
+        return self.call_after(delay_ps, signal.trigger, value)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns ``False`` if the queue is empty."""
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self._now_ps = call.time_ps
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until_ps: Optional[int] = None, max_events: int = 50_000_000) -> int:
+        """Run events until the queue drains or simulated time passes ``until_ps``.
+
+        Returns the number of events executed.  ``max_events`` guards against
+        runaway self-rescheduling loops in model bugs.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ps is not None and head.time_ps > until_ps:
+                    break
+                heapq.heappop(self._queue)
+                self._now_ps = head.time_ps
+                head.fn(*head.args)
+                executed += 1
+                if executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a scheduling loop"
+                    )
+        finally:
+            self._running = False
+        if until_ps is not None and self._now_ps < until_ps:
+            self._now_ps = until_ps
+        return executed
+
+    def run_until_signal(self, signal: Signal, timeout_ps: Optional[int] = None) -> Any:
+        """Run until ``signal`` triggers; returns its value.
+
+        Raises :class:`SimulationError` if the event queue drains (deadlock) or
+        the optional timeout elapses before the signal fires.
+        """
+        deadline = None if timeout_ps is None else self._now_ps + timeout_ps
+        while not signal.triggered:
+            if deadline is not None and self._queue and self._queue[0].time_ps > deadline:
+                raise SimulationError(
+                    f"timeout waiting for signal {signal.name!r} after {timeout_ps}ps"
+                )
+            if not self.step():
+                raise SimulationError(
+                    f"deadlock: event queue empty, signal {signal.name!r} never fired"
+                )
+        return signal.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for c in self._queue if not c.cancelled)

@@ -1,0 +1,121 @@
+"""Generator-based processes on top of the event kernel.
+
+A *process* is a plain Python generator driven by the simulator.  The
+generator communicates with the kernel by yielding:
+
+* an ``int`` — sleep that many picoseconds;
+* a :class:`~repro.sim.event.Signal` — suspend until it triggers; the
+  signal's value is sent back into the generator;
+* another :class:`Process` — join it; the joined process's return value is
+  sent back.
+
+When the generator returns, the process's :attr:`done` signal triggers with
+its return value, so processes compose: parents can join children, and plain
+callback code can ``add_waiter`` on :attr:`done`.
+
+Example
+-------
+>>> from repro.sim import Simulator, Process
+>>> sim = Simulator()
+>>> def worker():
+...     yield 1_000      # sleep 1 ns
+...     return "finished"
+>>> p = Process(sim, worker())
+>>> sim.run()
+2
+>>> p.result
+'finished'
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List, Optional
+
+from ..errors import SimulationError
+from .event import Signal
+from .kernel import Simulator
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process:
+    """Drives a generator as a cooperative simulated process."""
+
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(gen, "__name__", "process")
+        self._gen = gen
+        self.done = Signal(f"{self.name}.done")
+        self._failure: Optional[BaseException] = None
+        # Start on the next event-queue visit at the current time so creation
+        # order, not call depth, decides execution order.
+        sim.call_after(0, self._advance, None)
+
+    # -- public state ------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the generator has run to completion (or failed)."""
+        return self.done.triggered or self._failure is not None
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator; raises if it failed or is running."""
+        if self._failure is not None:
+            raise self._failure
+        if not self.done.triggered:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        return self.done.value
+
+    # -- kernel plumbing ---------------------------------------------------
+
+    def _advance(self, send_value: Any) -> None:
+        if self._failure is not None:
+            return
+        try:
+            yielded = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.done.trigger(stop.value)
+            return
+        except BaseException as exc:  # surface model bugs at run() site
+            self._failure = exc
+            raise
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, int):
+            if yielded < 0:
+                self._fail(SimulationError(f"process {self.name!r} yielded negative delay"))
+                return
+            self.sim.call_after(yielded, self._advance, None)
+        elif isinstance(yielded, Signal):
+            yielded.add_waiter(self._advance)
+        elif isinstance(yielded, Process):
+            yielded.done.add_waiter(self._advance)
+        else:
+            self._fail(
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported {type(yielded).__name__}"
+                )
+            )
+
+    def _fail(self, exc: BaseException) -> None:
+        self._failure = exc
+        raise exc
+
+
+def all_of(sim: Simulator, processes: Iterable[Process], name: str = "all_of") -> Process:
+    """A process that completes when every process in ``processes`` has.
+
+    Returns a :class:`Process` whose result is the list of child results in
+    input order — the simulated analogue of ``asyncio.gather``.
+    """
+    procs: List[Process] = list(processes)
+
+    def waiter() -> ProcessGen:
+        for proc in procs:
+            if not proc.finished:
+                yield proc.done
+        return [p.result for p in procs]
+
+    return Process(sim, waiter(), name=name)

@@ -1,0 +1,67 @@
+"""Deterministic randomness for models.
+
+Every stochastic model element (bit-error injection, workload inter-arrival
+jitter, address streams) draws from an :class:`Rng` handed to it explicitly.
+There is no module-level RNG: two components never share a stream unless the
+caller wires them to one, so adding a model cannot perturb another model's
+draws — a property the reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class Rng:
+    """A named, seeded random stream (thin wrapper over :mod:`random.Random`)."""
+
+    def __init__(self, seed: int, name: str = ""):
+        self.seed = seed
+        self.name = name
+        self._random = random.Random(seed)
+
+    def fork(self, label: str) -> "Rng":
+        """Derive an independent child stream keyed by ``label``.
+
+        The child seed mixes the parent seed with the label hash in a
+        platform-stable way (no ``hash()``, which is salted per process).
+        """
+        mixed = self.seed
+        for ch in label:
+            mixed = (mixed * 1_000_003 + ord(ch)) % (2**63)
+        return Rng(mixed, name=f"{self.name}/{label}" if self.name else label)
+
+    # -- draws -------------------------------------------------------------
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._random.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi]."""
+        return self._random.randint(lo, hi)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def shuffle(self, items: List[T]) -> None:
+        self._random.shuffle(items)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability (0 ⇒ never, 1 ⇒ always)."""
+        if probability <= 0:
+            return False
+        if probability >= 1:
+            return True
+        return self._random.random() < probability
+
+    def getrandbits(self, bits: int) -> int:
+        return self._random.getrandbits(bits)

@@ -1,0 +1,151 @@
+"""Measurement primitives: counters, latency histograms, bandwidth meters.
+
+Models throughout the library record what happened through these classes so
+experiments report measured values rather than configured ones — e.g. the
+latency numbers in the Table 3 reproduction come out of a
+:class:`LatencyRecorder` fed by actual simulated round trips.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..units import S
+
+
+class Counter:
+    """A named monotonic event counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: cannot add negative {n}")
+        self.count += n
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name}={self.count}>"
+
+
+class LatencyRecorder:
+    """Collects latency samples (picoseconds) and summarizes them.
+
+    Keeps every sample; the experiment scales here are small enough (at most a
+    few hundred thousand operations) that exact percentiles beat streaming
+    approximations.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.samples_ps: List[int] = []
+
+    def record(self, latency_ps: int) -> None:
+        if latency_ps < 0:
+            raise ValueError(f"latency recorder {self.name!r}: negative sample")
+        self.samples_ps.append(latency_ps)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples_ps)
+
+    def mean_ps(self) -> float:
+        if not self.samples_ps:
+            raise ValueError(f"latency recorder {self.name!r}: no samples")
+        return sum(self.samples_ps) / len(self.samples_ps)
+
+    def mean_ns(self) -> float:
+        return self.mean_ps() / 1_000
+
+    def min_ps(self) -> int:
+        return min(self.samples_ps)
+
+    def max_ps(self) -> int:
+        return max(self.samples_ps)
+
+    def percentile_ps(self, pct: float) -> int:
+        """Nearest-rank percentile, ``pct`` in [0, 100]."""
+        if not self.samples_ps:
+            raise ValueError(f"latency recorder {self.name!r}: no samples")
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        ordered = sorted(self.samples_ps)
+        rank = max(0, math.ceil(pct / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def stddev_ps(self) -> float:
+        if len(self.samples_ps) < 2:
+            return 0.0
+        mean = self.mean_ps()
+        var = sum((s - mean) ** 2 for s in self.samples_ps) / (len(self.samples_ps) - 1)
+        return math.sqrt(var)
+
+
+class BandwidthMeter:
+    """Accumulates bytes moved over a measured window to report GB/s."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.bytes_moved = 0
+        self._start_ps: Optional[int] = None
+        self._end_ps: Optional[int] = None
+
+    def start(self, now_ps: int) -> None:
+        self._start_ps = now_ps
+        self._end_ps = now_ps
+        self.bytes_moved = 0
+
+    def record(self, num_bytes: int, now_ps: int) -> None:
+        if self._start_ps is None:
+            self._start_ps = now_ps
+        self.bytes_moved += num_bytes
+        self._end_ps = now_ps
+
+    @property
+    def window_ps(self) -> int:
+        if self._start_ps is None or self._end_ps is None:
+            return 0
+        return self._end_ps - self._start_ps
+
+    def gb_per_s(self) -> float:
+        """Decimal GB/s over the observed window."""
+        window = self.window_ps
+        if window <= 0:
+            raise ValueError(f"bandwidth meter {self.name!r}: empty window")
+        return self.bytes_moved / (window / S) / 1e9
+
+
+class StatsRegistry:
+    """A flat namespace of named stats so components can expose counters."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.latencies: Dict[str, LatencyRecorder] = {}
+        self.bandwidths: Dict[str, BandwidthMeter] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self.counters.setdefault(name, Counter(name))
+
+    def latency(self, name: str) -> LatencyRecorder:
+        return self.latencies.setdefault(name, LatencyRecorder(name))
+
+    def bandwidth(self, name: str) -> BandwidthMeter:
+        return self.bandwidths.setdefault(name, BandwidthMeter(name))
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat dict of current values (counts and mean latencies)."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[f"count.{name}"] = counter.count
+        for name, rec in self.latencies.items():
+            if rec.count:
+                out[f"latency_ns.{name}"] = rec.mean_ns()
+        for name, meter in self.bandwidths.items():
+            if meter.window_ps > 0 and meter.bytes_moved > 0:
+                out[f"gbps.{name}"] = meter.gb_per_s()
+        return out

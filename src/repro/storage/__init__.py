@@ -1,0 +1,37 @@
+"""Storage stack: block devices, attach points, pmem/slram drivers, write cache."""
+
+from .block import DEFAULT_IO_BYTES, SECTOR_BYTES, BlockDevice
+from .hdd import HardDiskDrive, HddGeometry
+from .pcie import (
+    FLASH_X4_PCIE,
+    MRAM_PCIE,
+    NVRAM_PCIE,
+    PcieAttachedStore,
+    PcieCardProfile,
+)
+from .pmem import PmemBlockDevice, PmemConfig, PmemRegion
+from .slram import SlramDevice
+from .ssd import SolidStateDrive, SsdProfile
+from .writecache import DirectStore, NvWriteCache, WriteCacheConfig
+
+__all__ = [
+    "BlockDevice",
+    "DEFAULT_IO_BYTES",
+    "DirectStore",
+    "FLASH_X4_PCIE",
+    "HardDiskDrive",
+    "HddGeometry",
+    "MRAM_PCIE",
+    "NVRAM_PCIE",
+    "NvWriteCache",
+    "PcieAttachedStore",
+    "PcieCardProfile",
+    "PmemBlockDevice",
+    "PmemConfig",
+    "PmemRegion",
+    "SECTOR_BYTES",
+    "SlramDevice",
+    "SolidStateDrive",
+    "SsdProfile",
+    "WriteCacheConfig",
+]

@@ -1,0 +1,83 @@
+"""Block-device interface for the storage experiments.
+
+The FIO (Figures 9, 10) and GPFS (Table 4) experiments compare *persistent
+stores* across technologies and attach points.  Everything in this package
+presents the same interface: submit a read or write of ``nbytes`` at
+``offset``, get a completion signal.  Latency composition differs per
+device and per attach point, which is exactly what those figures measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import StorageError
+from ..sim import LatencyRecorder, Signal, Simulator
+
+SECTOR_BYTES = 512
+DEFAULT_IO_BYTES = 4096
+
+
+class BlockDevice:
+    """Abstract block store with timed reads and writes."""
+
+    def __init__(self, sim: Simulator, capacity_bytes: int, name: str):
+        if capacity_bytes <= 0:
+            raise StorageError(f"{name}: capacity must be positive")
+        self.sim = sim
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self.read_latency = LatencyRecorder(f"{name}.read")
+        self.write_latency = LatencyRecorder(f"{name}.write")
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- interface ----------------------------------------------------------
+
+    def submit_read(self, offset: int, nbytes: int) -> Signal:
+        """Read; the signal fires (with None — block data is not modeled
+        functionally at this layer) when the IO completes."""
+        self._check(offset, nbytes)
+        done = Signal(f"{self.name}.r@{offset:#x}")
+        t0 = self.sim.now_ps
+
+        def complete():
+            self.reads += 1
+            self.bytes_read += nbytes
+            self.read_latency.record(self.sim.now_ps - t0)
+            done.trigger(None)
+
+        self._schedule_read(offset, nbytes, complete)
+        return done
+
+    def submit_write(self, offset: int, nbytes: int) -> Signal:
+        self._check(offset, nbytes)
+        done = Signal(f"{self.name}.w@{offset:#x}")
+        t0 = self.sim.now_ps
+
+        def complete():
+            self.writes += 1
+            self.bytes_written += nbytes
+            self.write_latency.record(self.sim.now_ps - t0)
+            done.trigger(None)
+
+        self._schedule_write(offset, nbytes, complete)
+        return done
+
+    # -- hooks for subclasses --------------------------------------------------
+
+    def _schedule_read(self, offset: int, nbytes: int, complete) -> None:
+        raise NotImplementedError
+
+    def _schedule_write(self, offset: int, nbytes: int, complete) -> None:
+        raise NotImplementedError
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes <= 0 or offset + nbytes > self.capacity_bytes:
+            raise StorageError(
+                f"{self.name}: IO [{offset:#x}, +{nbytes}) outside device"
+            )
+        if offset % SECTOR_BYTES or nbytes % SECTOR_BYTES:
+            raise StorageError(f"{self.name}: IO not sector-aligned")

@@ -1,0 +1,72 @@
+"""Rotating hard-disk model (the Table 4 baseline: 1.1 TB SAS HDD, 75 IOPS).
+
+Small random writes on a disk pay a head seek plus rotational latency per
+IO — the exact pathology the GPFS/MRAM write cache removes by aggregating
+them into large sequential writes.  The model tracks head position so
+sequential streams skip the seek.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Simulator
+from ..units import ms_to_ps, transfer_ps, us_to_ps
+from .block import BlockDevice
+
+
+@dataclass(frozen=True)
+class HddGeometry:
+    """Performance characteristics of a 7.2K SAS drive."""
+
+    avg_seek_ms: float = 8.0
+    rpm: int = 7_200
+    media_mb_s: float = 150.0
+    #: SAS command + firmware overhead per IO
+    interface_overhead_us: float = 200.0
+
+    @property
+    def half_rotation_ms(self) -> float:
+        return 60_000.0 / self.rpm / 2
+
+
+class HardDiskDrive(BlockDevice):
+    """A spinning disk with seek/rotate/transfer timing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bytes: int,
+        geometry: HddGeometry = HddGeometry(),
+        name: str = "hdd",
+    ):
+        super().__init__(sim, capacity_bytes, name)
+        self.geometry = geometry
+        self._head_offset = -1  # parked: the first IO always seeks
+        self._busy_until_ps = 0
+        self.seeks = 0
+        self.sequential_hits = 0
+
+    def _service_time_ps(self, offset: int, nbytes: int) -> int:
+        g = self.geometry
+        service = us_to_ps(g.interface_overhead_us)
+        if offset != self._head_offset:
+            self.seeks += 1
+            service += ms_to_ps(g.avg_seek_ms) + ms_to_ps(g.half_rotation_ms)
+        else:
+            self.sequential_hits += 1
+        service += transfer_ps(nbytes, g.media_mb_s / 1_000)
+        return service
+
+    def _do_io(self, offset: int, nbytes: int, complete) -> None:
+        start = max(self.sim.now_ps, self._busy_until_ps)
+        finish = start + self._service_time_ps(offset, nbytes)
+        self._busy_until_ps = finish
+        self._head_offset = offset + nbytes
+        self.sim.call_at(finish, complete)
+
+    def _schedule_read(self, offset: int, nbytes: int, complete) -> None:
+        self._do_io(offset, nbytes, complete)
+
+    def _schedule_write(self, offset: int, nbytes: int, complete) -> None:
+        self._do_io(offset, nbytes, complete)

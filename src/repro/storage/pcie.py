@@ -1,0 +1,84 @@
+"""PCIe-attached persistent stores: the baselines of Figures 9 and 10.
+
+Every IO to a PCIe card pays the block-layer + driver + doorbell + DMA +
+completion-interrupt path on top of the card's internal media time.  That
+protocol overhead — single-digit microseconds at best — is what the DMI
+attach point removes, and it is why the paper's latency chart separates
+"technology" from "attach point".
+
+Card profiles below are calibrated to era-typical published numbers:
+
+* ``FLASH_X4_PCIE``  — NAND SSD on x4 PCIe,
+* ``NVRAM_PCIE``     — flash-backed DRAM card (the "NVRAM" baseline),
+* ``MRAM_PCIE``      — the vendor's PCIe STT-MRAM card (the paper quotes
+  vendor-published numbers for this one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim import Simulator
+from ..units import transfer_ps, us_to_ps
+from .block import BlockDevice
+
+
+@dataclass(frozen=True)
+class PcieCardProfile:
+    """Latency composition of one PCIe persistent-memory card."""
+
+    name: str
+    #: software path: block layer, driver, doorbell, completion interrupt
+    protocol_overhead_us: float
+    #: card-internal 4K read service (controller + media)
+    card_read_us: float
+    #: card-internal 4K write service
+    card_write_us: float
+    #: DMA bandwidth of the link (decimal GB/s)
+    link_gb_s: float = 3.2
+    #: concurrent IOs the card can service internally
+    parallelism: int = 4
+
+
+FLASH_X4_PCIE = PcieCardProfile(
+    "flash_x4_pcie", protocol_overhead_us=5.7, card_read_us=73.0, card_write_us=53.0
+)
+NVRAM_PCIE = PcieCardProfile(
+    "nvram_pcie", protocol_overhead_us=5.7, card_read_us=14.0, card_write_us=18.0
+)
+MRAM_PCIE = PcieCardProfile(
+    "mram_pcie", protocol_overhead_us=4.0, card_read_us=2.3, card_write_us=3.0
+)
+
+
+class PcieAttachedStore(BlockDevice):
+    """A persistent store behind the PCIe bus."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity_bytes: int,
+        profile: PcieCardProfile,
+        name: str = "",
+    ):
+        super().__init__(sim, capacity_bytes, name or profile.name)
+        self.profile = profile
+        self._slot_free_ps = [0] * profile.parallelism
+
+    def _schedule(self, card_us: float, nbytes: int, complete) -> None:
+        p = self.profile
+        overhead = us_to_ps(p.protocol_overhead_us)
+        dma = transfer_ps(nbytes, p.link_gb_s)
+        slot = min(range(p.parallelism), key=lambda i: self._slot_free_ps[i])
+        start = max(self.sim.now_ps + overhead, self._slot_free_ps[slot])
+        finish = start + us_to_ps(card_us) + dma
+        self._slot_free_ps[slot] = finish
+        self.sim.call_at(finish, complete)
+
+    def _schedule_read(self, offset: int, nbytes: int, complete) -> None:
+        pages = max(1, nbytes // 4096)
+        self._schedule(self.profile.card_read_us * pages, nbytes, complete)
+
+    def _schedule_write(self, offset: int, nbytes: int, complete) -> None:
+        pages = max(1, nbytes // 4096)
+        self._schedule(self.profile.card_write_us * pages, nbytes, complete)

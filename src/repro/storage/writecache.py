@@ -1,0 +1,141 @@
+"""GPFS-style non-volatile write cache (the Table 4 experiment).
+
+GPFS used the ConTutto-attached STT-MRAM "as a write cache in front of a
+hard disk drive to aggregate small random writes into larger sequential
+writes to the disk, thereby avoiding the latency hit of repositioning the
+drive head for each of the original small writes" (Section 4.2).
+
+:class:`NvWriteCache` implements that recovery-log pattern:
+
+* an application write is staged into the NVM log (a bounded circular
+  region) and acknowledged as soon as it is persistent there;
+* a background destager drains full log segments as one large sequential
+  write to the backing disk;
+* if the log fills faster than the disk drains, application writes stall —
+  the sustained-rate bound of any write-back cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import StorageError
+from ..sim import Signal, Simulator
+
+
+@dataclass(frozen=True)
+class WriteCacheConfig:
+    """Log geometry and destage policy."""
+
+    #: log segment size: one destage IO to the disk
+    segment_bytes: int = 8 << 20
+    #: number of segments in the NVM log
+    segments: int = 16
+    #: start destaging when this many segments are full
+    destage_threshold: int = 2
+
+
+class NvWriteCache:
+    """Write-back cache: NVM log in front of a slow sequential-friendly disk."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        log_device,       # block-style device for the NVM log (e.g. PmemBlockDevice)
+        backing_device,   # the disk being protected
+        config: WriteCacheConfig = WriteCacheConfig(),
+        name: str = "wcache",
+    ):
+        if config.segment_bytes * config.segments > log_device.capacity_bytes:
+            raise StorageError(f"{name}: log larger than the NVM device")
+        if config.destage_threshold > config.segments - 1:
+            raise StorageError(
+                f"{name}: destage threshold must leave one admission segment"
+            )
+        self.sim = sim
+        self.log_device = log_device
+        self.backing = backing_device
+        self.config = config
+        self.name = name
+        self._log_cursor = 0
+        self._full_segments = 0
+        self._segment_fill = 0
+        self._destage_active = False
+        self._stalled: List[Signal] = []
+        self._next_disk_offset = 0
+        # Stats
+        self.writes_staged = 0
+        self.destages = 0
+        self.stalls = 0
+
+    # -- application-facing write --------------------------------------------
+
+    def write(self, offset: int, nbytes: int) -> Signal:
+        """Stage a small write; acknowledged when persistent in the log."""
+        done = Signal(f"{self.name}.w")
+        if self._full_segments >= self.config.segments - 1:
+            # log (almost) full: wait for a destage to free a segment
+            self.stalls += 1
+            gate = Signal(f"{self.name}.stall")
+            self._stalled.append(gate)
+            gate.add_waiter(lambda _: self._stage(offset, nbytes, done))
+            return done
+        self._stage(offset, nbytes, done)
+        return done
+
+    def _stage(self, offset: int, nbytes: int, done: Signal) -> None:
+        log_offset = self._log_cursor
+        self._log_cursor = (log_offset + nbytes) % (
+            self.config.segment_bytes * self.config.segments
+        )
+        self._segment_fill += nbytes
+        while self._segment_fill >= self.config.segment_bytes:
+            self._segment_fill -= self.config.segment_bytes
+            self._full_segments += 1
+        inner = self.log_device.submit_write(log_offset, nbytes)
+
+        def staged(_):
+            self.writes_staged += 1
+            done.trigger(None)
+            self._maybe_destage()
+
+        inner.add_waiter(staged)
+
+    # -- background destage ----------------------------------------------------
+
+    def _maybe_destage(self) -> None:
+        if self._destage_active:
+            return
+        if self._full_segments < self.config.destage_threshold:
+            return
+        self._destage_active = True
+        disk_offset = self._next_disk_offset
+        self._next_disk_offset = (
+            disk_offset + self.config.segment_bytes
+        ) % self.backing.capacity_bytes
+        io = self.backing.submit_write(disk_offset, self.config.segment_bytes)
+
+        def destaged(_):
+            self.destages += 1
+            self._full_segments -= 1
+            self._destage_active = False
+            # re-admit every stalled writer: the admission condition is
+            # log occupancy, which just dropped for all of them alike
+            stalled, self._stalled = self._stalled, []
+            for gate in stalled:
+                gate.trigger()
+            self._maybe_destage()
+
+        io.add_waiter(destaged)
+
+
+class DirectStore:
+    """No-cache comparison path: every write goes straight to the device."""
+
+    def __init__(self, device, name: str = "direct"):
+        self.device = device
+        self.name = name
+
+    def write(self, offset: int, nbytes: int) -> Signal:
+        return self.device.submit_write(offset, nbytes)

@@ -1,0 +1,28 @@
+"""Workload models: SPEC CINT2006, DB2 BLU, FIO, GPFS, synthetic traces."""
+
+from .db2 import CALIBRATION_LATENCY_NS, NUM_QUERIES, Db2BluWorkload, Query
+from .fio import FioJob, FioResult, FioRunner
+from .gpfs import GpfsJob, GpfsResult, GpfsWriter
+from .spec import SpecSuite, cint2006_profiles, profile_by_name
+from .trace import TraceSpec, pointer_chase, random_lines, sequential, strided
+
+__all__ = [
+    "CALIBRATION_LATENCY_NS",
+    "Db2BluWorkload",
+    "FioJob",
+    "FioResult",
+    "FioRunner",
+    "GpfsJob",
+    "GpfsResult",
+    "GpfsWriter",
+    "NUM_QUERIES",
+    "Query",
+    "SpecSuite",
+    "TraceSpec",
+    "cint2006_profiles",
+    "pointer_chase",
+    "profile_by_name",
+    "random_lines",
+    "sequential",
+    "strided",
+]

@@ -1,0 +1,112 @@
+"""SPEC CINT2006 latency-sensitivity models (Figures 6 and 7).
+
+Twelve workload profiles, one per CINT2006 benchmark, characterized by the
+CPI-stack parameters of :mod:`repro.processor.cpu_model`.  The parameters
+are calibrated so the *population shape* of the paper's Figure 7 holds at
+the ConTutto latency points (Centaur 97 ns baseline, knob@7 = 558 ns,
+i.e. ~6x latency):
+
+* about half the suite degrades by less than 2%,
+* about two-thirds stays under 10%,
+* a tail sits in the 15–35% band (omnetpp / astar / xalancbmk-like),
+* one benchmark — mcf-like pointer chasing — exceeds 50%.
+
+Reference runtimes are the published SPEC CINT2006 reference times;
+instruction counts are scaled so baseline ratios land in a POWER8-era
+plausible range.  These profiles are sensitivity calibrations, not
+microarchitectural measurements; what the reproduction preserves is the
+curve shape the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..processor.cpu_model import CpuModel, WorkloadProfile
+
+# name: (base_cpi, mem_mpki, exposed, mlp, ref_runtime_s)
+_CINT2006 = {
+    "400.perlbench": (0.55, 0.0133, 0.45, 2.0, 9_770),
+    "401.bzip2": (0.70, 0.0286, 0.50, 2.5, 9_650),
+    "403.gcc": (0.80, 0.1765, 0.60, 3.0, 8_050),
+    "429.mcf": (0.90, 2.0238, 0.75, 5.0, 9_120),
+    "445.gobmk": (0.75, 0.0181, 0.45, 2.0, 10_490),
+    "456.hmmer": (0.45, 0.0061, 0.40, 2.0, 9_330),
+    "458.sjeng": (0.65, 0.0236, 0.45, 2.0, 12_100),
+    "462.libquantum": (0.60, 0.5970, 0.30, 6.0, 20_720),
+    "464.h264ref": (0.50, 0.0272, 0.50, 2.5, 22_130),
+    "471.omnetpp": (0.85, 0.7380, 0.70, 3.5, 6_250),
+    "473.astar": (0.80, 0.3530, 0.65, 3.0, 7_020),
+    "483.xalancbmk": (0.75, 0.5366, 0.70, 3.5, 6_900),
+}
+
+#: instructions per run, scaled for POWER8-era base ratios in the 20-40 range
+_INSTRUCTIONS = 1.5e12
+
+
+def cint2006_profiles() -> List[WorkloadProfile]:
+    """The twelve benchmark profiles, in suite order."""
+    return [
+        WorkloadProfile(
+            name=name,
+            base_cpi=base,
+            mem_mpki=mpki,
+            exposed=exposed,
+            mlp=mlp,
+            instructions=_INSTRUCTIONS,
+            reference_runtime_s=ref,
+        )
+        for name, (base, mpki, exposed, mlp, ref) in _CINT2006.items()
+    ]
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    for profile in cint2006_profiles():
+        if profile.name == name or profile.name.split(".")[1] == name:
+            return profile
+    raise KeyError(f"unknown CINT2006 benchmark {name!r}")
+
+
+class SpecSuite:
+    """Runs the CINT2006 suite against a set of memory latencies."""
+
+    def __init__(self, model: CpuModel = None):
+        self.model = model or CpuModel()
+        self.profiles = cint2006_profiles()
+
+    def ratios(self, memory_latency_ns: float) -> Dict[str, float]:
+        """SPEC ratio per benchmark at the given latency (a Fig. 6/7 column)."""
+        return {
+            p.name: self.model.spec_ratio(p, memory_latency_ns)
+            for p in self.profiles
+        }
+
+    def degradations(
+        self, base_latency_ns: float, new_latency_ns: float
+    ) -> Dict[str, float]:
+        """Fractional runtime increase per benchmark."""
+        return {
+            p.name: self.model.degradation(p, base_latency_ns, new_latency_ns)
+            for p in self.profiles
+        }
+
+    def sweep(self, latencies_ns: List[float]) -> Dict[str, List[float]]:
+        """Ratio series per benchmark across latency points (a full figure)."""
+        return {
+            p.name: [self.model.spec_ratio(p, lat) for lat in latencies_ns]
+            for p in self.profiles
+        }
+
+    def population_summary(
+        self, base_latency_ns: float, new_latency_ns: float
+    ) -> Dict[str, float]:
+        """The fractions the paper quotes for the ~6x latency point."""
+        degs = list(self.degradations(base_latency_ns, new_latency_ns).values())
+        n = len(degs)
+        return {
+            "under_2pct": sum(1 for d in degs if d < 0.02) / n,
+            "under_10pct": sum(1 for d in degs if d < 0.10) / n,
+            "band_15_to_35pct": sum(1 for d in degs if 0.15 <= d <= 0.35) / n,
+            "over_50pct": sum(1 for d in degs if d > 0.50) / n,
+            "max": max(degs),
+        }

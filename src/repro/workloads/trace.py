@@ -1,0 +1,70 @@
+"""Synthetic memory-access trace generators.
+
+Drive the socket with realistic access patterns for integration tests,
+bandwidth studies, and the pointer-chasing class of workloads the paper
+flags as the open question for disaggregated memory ("graph and pointer
+chasing applications where the performance degradation could be much
+higher").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ConfigurationError
+from ..sim import Rng
+from ..units import CACHE_LINE_BYTES
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Bounds of a generated trace."""
+
+    base: int
+    size_bytes: int
+    num_accesses: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < CACHE_LINE_BYTES:
+            raise ConfigurationError("trace region smaller than one line")
+        if self.num_accesses < 1:
+            raise ConfigurationError("trace needs at least one access")
+
+    @property
+    def lines(self) -> int:
+        return self.size_bytes // CACHE_LINE_BYTES
+
+
+def sequential(spec: TraceSpec) -> Iterator[int]:
+    """Streaming pattern: consecutive cache lines, wrapping."""
+    for i in range(spec.num_accesses):
+        yield spec.base + (i % spec.lines) * CACHE_LINE_BYTES
+
+
+def strided(spec: TraceSpec, stride_lines: int) -> Iterator[int]:
+    """Fixed-stride pattern (column walks, matrix transposes)."""
+    if stride_lines < 1:
+        raise ConfigurationError("stride must be >= 1 line")
+    for i in range(spec.num_accesses):
+        yield spec.base + ((i * stride_lines) % spec.lines) * CACHE_LINE_BYTES
+
+
+def random_lines(spec: TraceSpec, rng: Rng) -> Iterator[int]:
+    """Uniform random lines (the latency-measurement pattern)."""
+    for _ in range(spec.num_accesses):
+        yield spec.base + rng.randint(0, spec.lines - 1) * CACHE_LINE_BYTES
+
+
+def pointer_chase(spec: TraceSpec, rng: Rng) -> List[int]:
+    """A dependent chain: each address is 'stored' at the previous one.
+
+    Built as a random cyclic permutation of the region's lines, truncated
+    to ``num_accesses`` — every access depends on the previous load, so no
+    memory-level parallelism is available.  This is the worst case for
+    added memory latency.
+    """
+    line_count = min(spec.lines, spec.num_accesses)
+    order = list(range(line_count))
+    rng.shuffle(order)
+    return [spec.base + line * CACHE_LINE_BYTES for line in order[: spec.num_accesses]]

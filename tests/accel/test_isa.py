@@ -1,0 +1,181 @@
+"""Tests for the Access processor ISA, assembler, and interpreter."""
+
+import pytest
+
+from repro.accel import AccessProcessor, Op, assemble
+from repro.errors import AccelError, AssemblerError
+from repro.memory import DdrDram, MemoryController
+from repro.sim import Simulator
+from repro.units import MIB
+
+
+def make_ap(sim, ports=2):
+    dimms = [DdrDram(64 * MIB, refresh_enabled=False) for _ in range(ports)]
+    controllers = [MemoryController(sim, d) for d in dimms]
+    return AccessProcessor(sim, controllers), dimms
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            ldi r1, 10
+            ldi r2, 0x20
+            add r3, r1, r2
+            halt
+            """
+        )
+        assert [i.op for i in program] == [Op.LDI, Op.LDI, Op.ADD, Op.HALT]
+        assert program[1].imm == 0x20
+
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            ldi r0, 0
+            ldi r1, 5
+            loop:
+            addi r0, r0, 1
+            bne r0, r1, loop
+            halt
+            """
+        )
+        branch = program[3]
+        assert branch.op is Op.BNE
+        assert branch.target == 2  # the loop: label
+
+    def test_comments_ignored(self):
+        program = assemble("ldi r0, 1 ; set up counter\nhalt")
+        assert len(program) == 2
+
+    def test_memory_operand_syntax(self):
+        program = assemble("ld r2, [r5]\nst [r3], r4\nhalt")
+        assert program[0].ra == 5
+        assert program[1].ra == 3 and program[1].rb == 4
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("ldi r16, 0")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\nldi r0, 1\na:\nhalt")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2")
+
+
+class TestInterpreter:
+    def run_program(self, source, threads=1, initial=None):
+        sim = Simulator()
+        ap, dimms = make_ap(sim)
+        ap.load_program(assemble(source))
+        proc = ap.run(threads=threads, initial_regs=initial)
+        sim.run()
+        return ap, proc.result, dimms
+
+    def test_arithmetic(self):
+        _, contexts, _ = self.run_program(
+            "ldi r1, 7\nldi r2, 5\nadd r3, r1, r2\nsub r4, r1, r2\nhalt"
+        )
+        assert contexts[0].regs[3] == 12
+        assert contexts[0].regs[4] == 2
+
+    def test_min_max_ops(self):
+        _, contexts, _ = self.run_program(
+            "ldi r1, 9\nldi r2, 3\nmin r3, r1, r2\nmax r4, r1, r2\nhalt"
+        )
+        assert contexts[0].regs[3] == 3
+        assert contexts[0].regs[4] == 9
+
+    def test_loop_counts(self):
+        _, contexts, _ = self.run_program(
+            """
+            ldi r0, 0
+            ldi r1, 10
+            loop:
+            addi r0, r0, 1
+            bne r0, r1, loop
+            halt
+            """
+        )
+        assert contexts[0].regs[0] == 10
+
+    def test_store_then_load_roundtrip(self):
+        _, contexts, _ = self.run_program(
+            """
+            ldi r1, 4096
+            ldi r2, 0xDEAD
+            st [r1], r2
+            ld r3, [r1]
+            halt
+            """
+        )
+        assert contexts[0].regs[3] == 0xDEAD
+
+    def test_dma_roundtrip(self):
+        ap, contexts, dimms = self.run_program(
+            """
+            ldi r1, 0
+            ldi r2, 16384
+            dmard r3, r1, r2
+            ldi r4, 65536
+            dmawr r5, r4, r2
+            halt
+            """
+        )
+        assert contexts[0].regs[3] == 16384
+        assert ap.perf.dma_bytes_read == 16384
+        assert ap.perf.dma_bytes_written == 16384
+
+    def test_multithreading_interleaves(self):
+        source = """
+            ldi r1, 4096
+            ld r2, [r1]
+            addi r3, r3, 1
+            halt
+        """
+        sim = Simulator()
+        ap, _ = make_ap(sim)
+        ap.load_program(assemble(source))
+        proc = ap.run(threads=4)
+        sim.run()
+        contexts = proc.result
+        assert all(ctx.regs[3] == 1 for ctx in contexts)
+        assert ap.perf.loads == 4
+
+    def test_perf_counters(self):
+        ap, _, _ = self.run_program("ldi r1, 1\nldi r2, 2\nadd r3, r1, r2\nhalt")
+        assert ap.perf.instructions == 4
+
+    def test_program_required(self):
+        sim = Simulator()
+        ap, _ = make_ap(sim)
+        with pytest.raises(AccelError):
+            ap.run()
+
+    def test_address_map_applied(self):
+        sim = Simulator()
+        ap, dimms = make_ap(sim)
+        ap.address_map = lambda addr: addr + 8192  # shift into chunk 1
+        ap.load_program(assemble("ldi r1, 0\nldi r2, 77\nst [r1], r2\nhalt"))
+        ap.run()
+        sim.run()
+        # chunk 1 maps to port 1, local chunk 0
+        assert int.from_bytes(dimms[1].backing.read(0, 8), "little") == 77
+
+    def test_initial_registers(self):
+        sim = Simulator()
+        ap, _ = make_ap(sim)
+        ap.load_program(assemble("addi r1, r1, 5\nhalt"))
+        proc = ap.run(initial_regs={0: {1: 100}})
+        sim.run()
+        assert proc.result[0].regs[1] == 105

@@ -1,0 +1,89 @@
+"""Tests for the FPGA CSR map and the software knob path."""
+
+import pytest
+
+from repro import CardSpec, ContuttoSystem
+from repro.errors import ConfigurationError
+from repro.firmware import (
+    CONTUTTO_DESIGN_ID,
+    ConTuttoFsiSlave,
+    ENGINES_BUSY_CSR,
+    FLUSHES_CSR,
+    ID_CSR,
+    KNOB_CSR,
+    STATUS_CSR,
+    build_contutto_csrs,
+    read_latency_knob,
+    set_latency_knob,
+)
+from repro.fpga import ConTuttoBuffer
+from repro.memory import DdrDram
+from repro.sim import Simulator
+from repro.units import GIB, MIB
+
+
+def make_buffer(sim):
+    return ConTuttoBuffer(
+        sim, [DdrDram(64 * MIB, refresh_enabled=False) for _ in range(2)]
+    )
+
+
+class TestCsrMap:
+    def test_id_register(self):
+        sim = Simulator()
+        csr = build_contutto_csrs(make_buffer(sim))
+        assert csr.read(ID_CSR) == CONTUTTO_DESIGN_ID
+
+    def test_knob_write_changes_live_hardware(self):
+        sim = Simulator()
+        buffer = make_buffer(sim)
+        csr = build_contutto_csrs(buffer)
+        csr.write(KNOB_CSR, 5)
+        assert buffer.knob.position == 5
+        assert buffer.knob.delay_ps == 5 * 24_000
+
+    def test_knob_read_reflects_hardware(self):
+        sim = Simulator()
+        buffer = make_buffer(sim)
+        csr = build_contutto_csrs(buffer)
+        buffer.knob.set_position(3)
+        assert csr.read(KNOB_CSR) == 3
+
+    def test_status_counts_commands(self):
+        from repro.dmi import Command, Opcode
+        from repro.sim import Signal
+
+        sim = Simulator()
+        buffer = make_buffer(sim)
+        csr = build_contutto_csrs(buffer)
+        done = Signal("r")
+        buffer.handle_command(Command(Opcode.READ, 0, 0), done.trigger)
+        sim.run_until_signal(done, timeout_ps=10**12)
+        assert csr.read(STATUS_CSR) == 1
+        assert csr.read(FLUSHES_CSR) == 0
+        assert csr.read(ENGINES_BUSY_CSR) == 0
+
+    def test_indirect_path_via_fsi_slave(self):
+        sim = Simulator()
+        buffer = make_buffer(sim)
+        slave = ConTuttoFsiSlave(sim, build_contutto_csrs(buffer))
+        sim.run_until_signal(set_latency_knob(slave, 6), timeout_ps=10**12)
+        assert buffer.knob.position == 6
+        value = sim.run_until_signal(read_latency_knob(slave), timeout_ps=10**12)
+        assert value == 6
+
+
+class TestSystemKnobPath:
+    def test_software_knob_changes_measured_latency(self):
+        system = ContuttoSystem.build(
+            [CardSpec(slot=0, kind="contutto", capacity_per_dimm=1 * GIB)]
+        )
+        base = system.measure_latency_ns("contutto", samples=12)
+        system.set_latency_knob(0, 4)
+        slowed = system.measure_latency_ns("contutto", samples=12)
+        assert slowed - base == pytest.approx(4 * 24, abs=8)
+
+    def test_knob_on_centaur_slot_rejected(self):
+        system = ContuttoSystem.build([CardSpec(slot=0, kind="centaur")])
+        with pytest.raises(ConfigurationError):
+            system.set_latency_knob(0, 1)

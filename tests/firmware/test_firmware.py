@@ -1,0 +1,213 @@
+"""Tests for FSI/I2C access paths, power sequencing, and plug rules."""
+
+import pytest
+
+from repro.errors import FirmwareError, PlugRuleError, PowerSequenceError
+from repro.firmware import (
+    CONTUTTO_RAILS,
+    CentaurFsiSlave,
+    ConTuttoFsiSlave,
+    CsrBlock,
+    FsiBus,
+    I2C_TRANSACTION_PS,
+    I2cMaster,
+    PluggedCard,
+    PowerSequencer,
+    ServiceProcessor,
+    blocked_slots,
+    max_cdimms_with,
+    paper_config_one_contutto,
+    paper_config_two_contutto,
+    validate_plug_plan,
+)
+from repro.memory import SpdData
+from repro.sim import Simulator
+
+
+class TestCsrBlock:
+    def test_define_read_write(self):
+        csr = CsrBlock()
+        csr.define(0x10, reset_value=7)
+        assert csr.read(0x10) == 7
+        csr.write(0x10, 0xABCD)
+        assert csr.read(0x10) == 0xABCD
+
+    def test_undefined_register_raises(self):
+        with pytest.raises(FirmwareError):
+            CsrBlock().read(0x99)
+
+    def test_write_hook_fires(self):
+        csr = CsrBlock()
+        seen = []
+        csr.define(0x20, on_write=seen.append)
+        csr.write(0x20, 5)
+        assert seen == [5]
+
+    def test_read_hook_provides_value(self):
+        csr = CsrBlock()
+        csr.define(0x30, on_read=lambda: 0x1234)
+        assert csr.read(0x30) == 0x1234
+
+    def test_values_truncate_to_32_bits(self):
+        csr = CsrBlock()
+        csr.define(0)
+        csr.write(0, 1 << 40)
+        assert csr.read(0) == 0
+
+    def test_duplicate_define_rejected(self):
+        csr = CsrBlock()
+        csr.define(0)
+        with pytest.raises(FirmwareError):
+            csr.define(0)
+
+
+class TestI2cPath:
+    def test_i2c_read_pays_transaction_latency(self):
+        sim = Simulator()
+        csr = CsrBlock()
+        csr.define(0x10, reset_value=42)
+        master = I2cMaster(sim, csr)
+        value = sim.run_until_signal(master.read_reg(0x10))
+        assert value == 42
+        assert sim.now_ps == I2C_TRANSACTION_PS
+
+    def test_indirect_fpga_path_slower_than_native_fsi(self):
+        sim = Simulator()
+        fpga_csr = CsrBlock("fpga")
+        fpga_csr.define(0x10, reset_value=1)
+        contutto = ConTuttoFsiSlave(sim, fpga_csr)
+        t0 = sim.now_ps
+        sim.run_until_signal(contutto.fpga_read(0x10))
+        indirect = sim.now_ps - t0
+
+        centaur = CentaurFsiSlave(sim)
+        t0 = sim.now_ps
+        sim.run_until_signal(centaur.read_reg(0x00))
+        native = sim.now_ps - t0
+        assert indirect > 10 * native  # the I2C hop dominates
+
+    def test_spd_read(self):
+        sim = Simulator()
+        image = SpdData("mram", 256 << 20).encode()
+        slave = ConTuttoFsiSlave(sim, CsrBlock(), spd_images=[image])
+        raw = sim.run_until_signal(slave.read_spd(0))
+        assert SpdData.decode(raw).module_type == "mram"
+
+    def test_spd_empty_slot_raises(self):
+        sim = Simulator()
+        slave = ConTuttoFsiSlave(sim, CsrBlock(), spd_images=[])
+        with pytest.raises(FirmwareError):
+            slave.read_spd(0)
+
+    def test_fsi_bus_scan(self):
+        sim = Simulator()
+        bus = FsiBus(sim)
+        bus.attach(0, ConTuttoFsiSlave(sim, CsrBlock()))
+        bus.attach(2, CentaurFsiSlave(sim))
+        assert bus.scan() == {0: "contutto", 2: "centaur"}
+
+    def test_fsi_bus_double_attach_rejected(self):
+        sim = Simulator()
+        bus = FsiBus(sim)
+        bus.attach(0, CentaurFsiSlave(sim))
+        with pytest.raises(FirmwareError):
+            bus.attach(0, CentaurFsiSlave(sim))
+
+
+class TestPowerSequencer:
+    def test_power_on_brings_all_rails_up(self):
+        sim = Simulator()
+        seq = PowerSequencer(sim)
+        sim.run_until_signal(seq.power_on())
+        assert seq.all_up
+
+    def test_out_of_order_bring_up_faults(self):
+        sim = Simulator()
+        seq = PowerSequencer(sim)
+        with pytest.raises(PowerSequenceError):
+            seq.rail_up("VCCT_GXB")  # analog rail before core
+
+    def test_out_of_order_teardown_faults(self):
+        sim = Simulator()
+        seq = PowerSequencer(sim)
+        sim.run_until_signal(seq.power_on())
+        with pytest.raises(PowerSequenceError):
+            seq.rail_down("VCC_core")  # core drops while later rails up
+
+    def test_power_cycle(self):
+        sim = Simulator()
+        seq = PowerSequencer(sim)
+        sim.run_until_signal(seq.power_on())
+        sim.run_until_signal(seq.power_off())
+        assert seq.all_down
+
+    def test_rail_catalog_order(self):
+        orders = [rail.order for rail in CONTUTTO_RAILS]
+        assert orders == sorted(orders)
+        # analog transceiver rails come up last
+        assert CONTUTTO_RAILS[-1].regulator == "ldo"
+
+    def test_unknown_rail_rejected(self):
+        with pytest.raises(PowerSequenceError):
+            PowerSequencer(Simulator()).rail_up("V_IMAGINARY")
+
+
+class TestPlugRules:
+    def test_paper_configs_valid(self):
+        validate_plug_plan(paper_config_one_contutto())
+        validate_plug_plan(paper_config_two_contutto())
+
+    def test_paper_config_counts(self):
+        one = paper_config_one_contutto()
+        assert sum(1 for c in one if c.kind == "contutto") == 1
+        assert sum(1 for c in one if c.kind == "centaur") == 6
+        two = paper_config_two_contutto()
+        assert sum(1 for c in two if c.kind == "contutto") == 2
+        assert sum(1 for c in two if c.kind == "centaur") == 4
+
+    def test_contutto_blocks_adjacent_slot(self):
+        plan = [PluggedCard(0, "contutto"), PluggedCard(1, "centaur")]
+        with pytest.raises(PlugRuleError):
+            validate_plug_plan(plan)
+
+    def test_contutto_odd_slot_rejected(self):
+        with pytest.raises(PlugRuleError):
+            validate_plug_plan([PluggedCard(3, "contutto")])
+
+    def test_double_plug_rejected(self):
+        plan = [PluggedCard(0, "centaur"), PluggedCard(0, "centaur")]
+        with pytest.raises(PlugRuleError):
+            validate_plug_plan(plan)
+
+    def test_blocked_slots(self):
+        assert blocked_slots([PluggedCard(0, "contutto"), PluggedCard(4, "contutto")]) == {1, 5}
+
+    def test_max_cdimms(self):
+        assert max_cdimms_with(0) == 8
+        assert max_cdimms_with(1) == 6
+        assert max_cdimms_with(2) == 4
+
+    def test_too_many_contutto_rejected(self):
+        with pytest.raises(PlugRuleError):
+            max_cdimms_with(5)
+
+
+class TestServiceProcessor:
+    def test_error_logging(self):
+        fsp = ServiceProcessor(Simulator())
+        fsp.log("slot0", "CRC storm")
+        assert fsp.error_count == 1
+        assert fsp.errors_for("slot0")[0].message == "CRC storm"
+
+    def test_deconfigure_after_threshold(self):
+        fsp = ServiceProcessor(Simulator())
+        for i in range(ServiceProcessor.DECONFIGURE_THRESHOLD):
+            fsp.log("slot3", f"fault {i}")
+        assert fsp.is_deconfigured("slot3")
+
+    def test_info_entries_dont_count(self):
+        fsp = ServiceProcessor(Simulator())
+        for _ in range(10):
+            fsp.log("slot1", "note", severity="info")
+        assert not fsp.is_deconfigured("slot1")
+        assert fsp.error_count == 0

@@ -1,0 +1,168 @@
+"""Tests for the TCAM and card-to-card PCIe expansion blocks."""
+
+import pytest
+
+from repro.errors import AccelError, ConfigurationError
+from repro.fpga import CardToCardLink, ConTuttoBuffer, TernaryCam, base_design_resources
+from repro.memory import DdrDram
+from repro.sim import Simulator
+from repro.units import MIB, S
+
+
+class TestTernaryCam:
+    def make(self, sim=None, **kwargs):
+        return TernaryCam(sim or Simulator(), **kwargs)
+
+    def test_exact_match(self):
+        cam = self.make()
+        cam.write(0, value=0xDEAD, mask=0xFFFF)
+        index, _ = cam.lookup(0xDEAD)
+        assert index == 0
+        index, _ = cam.lookup(0xBEEF)
+        assert index is None
+
+    def test_ternary_dont_cares(self):
+        cam = self.make()
+        cam.write(0, value=0xAB00, mask=0xFF00)  # low byte is don't-care
+        assert cam.lookup(0xAB42)[0] == 0
+        assert cam.lookup(0xAB99)[0] == 0
+        assert cam.lookup(0xAC42)[0] is None
+
+    def test_priority_encoder_lowest_index_wins(self):
+        cam = self.make()
+        cam.write(5, value=0x10, mask=0xF0)
+        cam.write(2, value=0x12, mask=0xFF)
+        assert cam.lookup(0x12)[0] == 2  # more specific AND lower index
+
+    def test_invalidate(self):
+        cam = self.make()
+        cam.write(0, 1, 0xFF)
+        cam.invalidate(0)
+        assert cam.lookup(1)[0] is None
+        assert cam.occupancy == 0
+
+    def test_single_cycle_lookup_regardless_of_occupancy(self):
+        sim = Simulator()
+        cam = self.make(sim, entries=256)
+        for i in range(256):
+            cam.write(i, i, 0xFF)
+        _, t1 = cam.lookup(0)
+        _, t2 = cam.lookup(255)
+        assert t2 - t1 == cam.clock.period_ps
+
+    def test_longest_prefix_match_routing(self):
+        cam = self.make(key_bits=32)
+        # /24 route at a lower index than the /16 covering route
+        cam.add_prefix_route(0, 0x0A0B0C00, 24)
+        cam.add_prefix_route(1, 0x0A0B0000, 16)
+        assert cam.lookup(0x0A0B0C99)[0] == 0   # hits the /24
+        assert cam.lookup(0x0A0B2222)[0] == 1   # falls back to the /16
+        assert cam.lookup(0x0A0C0000)[0] is None
+
+    def test_bounds_checked(self):
+        cam = self.make(entries=4, key_bits=16)
+        with pytest.raises(AccelError):
+            cam.write(4, 0, 0)
+        with pytest.raises(AccelError):
+            cam.write(0, 1 << 16, 0)
+        with pytest.raises(AccelError):
+            cam.lookup(1 << 16)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(entries=0)
+
+    def test_resource_cost_charged(self):
+        design = base_design_resources()
+        before = design.total().alms
+        design.add("tcam")
+        assert design.total().alms == before + 6_000
+
+    def test_stats(self):
+        cam = self.make()
+        cam.write(0, 7, 0xFF)
+        cam.lookup(7)
+        cam.lookup(9)
+        assert cam.lookups == 2
+        assert cam.hits == 1
+
+
+class TestCardToCardLink:
+    def make_cards(self, sim):
+        a = ConTuttoBuffer(
+            sim, [DdrDram(64 * MIB, name=f"a{i}", refresh_enabled=False) for i in range(2)],
+            name="ct_a",
+        )
+        b = ConTuttoBuffer(
+            sim, [DdrDram(64 * MIB, name=f"b{i}", refresh_enabled=False) for i in range(2)],
+            name="ct_b",
+        )
+        return a, b
+
+    def test_transfer_moves_real_bytes(self):
+        sim = Simulator()
+        a, b = self.make_cards(sim)
+        link = CardToCardLink(sim, a, b)
+        payload = bytes(range(256)) * 64  # 16 KiB
+        # seed card A's space through its own controllers (flat addresses)
+        for off in range(0, len(payload), 8192):
+            local = a._route(off)
+            slave, slocal = a.avalon._route(local)
+            slave.device.backing.write(slocal, payload[off : off + 8192])
+        proc = link.transfer(a, 0, b, 0, len(payload))
+        moved = sim.run_until_signal(proc.done, timeout_ps=10**13)
+        assert moved == len(payload)
+        # verify on card B
+        got = bytearray()
+        for off in range(0, len(payload), 8192):
+            local = b._route(off)
+            slave, slocal = b.avalon._route(local)
+            got += slave.device.backing.read(slocal, 8192)
+        assert bytes(got) == payload
+
+    def test_link_bandwidth_bounds_throughput(self):
+        sim = Simulator()
+        a, b = self.make_cards(sim)
+        link = CardToCardLink(sim, a, b, link_gb_s=3.2)
+        nbytes = 1 * MIB
+        t0 = sim.now_ps
+        proc = link.transfer(a, 0, b, 0, nbytes)
+        sim.run_until_signal(proc.done, timeout_ps=10**13)
+        gbps = nbytes / ((sim.now_ps - t0) / S) / 1e9
+        assert gbps <= 3.2
+        assert gbps > 1.5  # pipelining keeps the link reasonably utilized
+
+    def test_no_dmi_traffic_generated(self):
+        # the point of the block: the POWER8 memory bus is not burdened
+        sim = Simulator()
+        a, b = self.make_cards(sim)
+        link = CardToCardLink(sim, a, b)
+        before = a.mbs.commands + b.mbs.commands
+        proc = link.transfer(a, 0, b, 0, 64 * 1024)
+        sim.run_until_signal(proc.done, timeout_ps=10**13)
+        assert a.mbs.commands + b.mbs.commands == before
+
+    def test_same_card_rejected(self):
+        sim = Simulator()
+        a, _ = self.make_cards(sim)
+        with pytest.raises(ConfigurationError):
+            CardToCardLink(sim, a, a)
+
+    def test_foreign_card_rejected(self):
+        sim = Simulator()
+        a, b = self.make_cards(sim)
+        c = ConTuttoBuffer(
+            sim, [DdrDram(64 * MIB, refresh_enabled=False)], name="ct_c"
+        )
+        link = CardToCardLink(sim, a, b)
+        with pytest.raises(AccelError):
+            link.transfer(c, 0, b, 0, 128)
+
+    def test_stats_accumulate(self):
+        sim = Simulator()
+        a, b = self.make_cards(sim)
+        link = CardToCardLink(sim, a, b)
+        sim.run_until_signal(link.transfer(a, 0, b, 0, 8192).done, timeout_ps=10**13)
+        sim.run_until_signal(link.transfer(b, 0, a, 0, 8192).done, timeout_ps=10**13)
+        assert link.transfers == 2
+        assert link.bytes_transferred == 16384

@@ -1,0 +1,107 @@
+"""Tests for the sparse backing store and device basics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressRangeError, MemoryError_
+from repro.memory import SparseBacking
+from repro.memory.dram import DdrDram
+from repro.units import GIB, MIB
+
+
+class TestSparseBacking:
+    def test_unwritten_reads_zero(self):
+        backing = SparseBacking(1 * MIB)
+        assert backing.read(0x1000, 64) == bytes(64)
+
+    def test_write_read_roundtrip(self):
+        backing = SparseBacking(1 * MIB)
+        backing.write(0x2000, b"hello world")
+        assert backing.read(0x2000, 11) == b"hello world"
+
+    def test_write_spanning_blocks(self):
+        backing = SparseBacking(1 * MIB)
+        data = bytes(range(256)) * 40  # 10240 bytes, spans 4 KiB blocks
+        backing.write(4096 - 100, data)
+        assert backing.read(4096 - 100, len(data)) == data
+
+    def test_sparse_memory_usage(self):
+        backing = SparseBacking(64 * GIB)
+        backing.write(32 * GIB, b"x")
+        assert backing.resident_bytes == 4096
+
+    def test_out_of_range_read_raises(self):
+        backing = SparseBacking(1024)
+        with pytest.raises(AddressRangeError):
+            backing.read(1000, 100)
+
+    def test_out_of_range_write_raises(self):
+        backing = SparseBacking(1024)
+        with pytest.raises(AddressRangeError):
+            backing.write(1020, b"12345")
+
+    def test_negative_address_raises(self):
+        with pytest.raises(AddressRangeError):
+            SparseBacking(1024).read(-1, 4)
+
+    def test_fill(self):
+        backing = SparseBacking(1 * MIB)
+        backing.fill(100, 50, 0xAB)
+        assert backing.read(100, 50) == bytes([0xAB] * 50)
+        assert backing.read(99, 1) == b"\x00"
+
+    def test_clear(self):
+        backing = SparseBacking(1 * MIB)
+        backing.write(0, b"data")
+        backing.clear()
+        assert backing.read(0, 4) == bytes(4)
+
+    def test_copy_into(self):
+        src, dst = SparseBacking(1 * MIB), SparseBacking(1 * MIB)
+        src.write(0x5000, b"payload")
+        src.copy_into(dst)
+        assert dst.read(0x5000, 7) == b"payload"
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 60_000), st.binary(min_size=1, max_size=300)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_matches_reference_bytearray(self, writes):
+        backing = SparseBacking(64 * 1024)
+        reference = bytearray(64 * 1024)
+        for addr, data in writes:
+            if addr + len(data) <= 64 * 1024:
+                backing.write(addr, data)
+                reference[addr : addr + len(data)] = data
+        assert backing.read(0, 64 * 1024) == bytes(reference)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(AddressRangeError):
+            SparseBacking(0)
+
+
+class TestDevicePower:
+    def test_volatile_device_loses_contents_on_power_off(self):
+        dram = DdrDram(1 * MIB)
+        dram.write(0, b"volatile", 0)
+        dram.power_off()
+        dram.power_on()
+        data, _ = dram.read(0, 8, 0)
+        assert data == bytes(8)
+
+    def test_access_while_off_raises(self):
+        dram = DdrDram(1 * MIB)
+        dram.power_off()
+        with pytest.raises(MemoryError_):
+            dram.read(0, 8, 0)
+
+    def test_stats_account_bytes(self):
+        dram = DdrDram(1 * MIB)
+        dram.write(0, bytes(128), 0)
+        dram.read(0, 128, 10**9)
+        assert dram.bytes_written == 128
+        assert dram.bytes_read == 128

@@ -1,0 +1,146 @@
+"""Tests for the SEC-DED ECC codec and its DRAM integration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AlignmentError
+from repro.memory import DdrDram
+from repro.memory.ecc import (
+    UncorrectableEccError,
+    decode_line,
+    decode_word,
+    encode_line,
+    encode_word,
+)
+from repro.units import MIB
+
+word64 = st.integers(0, 2**64 - 1)
+
+
+class TestCodecWords:
+    @given(word64)
+    def test_clean_word_decodes_identically(self, data):
+        _, check = encode_word(data)
+        decoded, fixes = decode_word(data, check)
+        assert decoded == data
+        assert fixes == 0
+
+    @given(word64, st.integers(0, 63))
+    def test_any_single_data_bit_flip_corrected(self, data, bit):
+        _, check = encode_word(data)
+        corrupted = data ^ (1 << bit)
+        decoded, fixes = decode_word(corrupted, check)
+        assert decoded == data
+        assert fixes == 1
+
+    @given(word64, st.integers(0, 7))
+    def test_check_byte_bit_flip_corrected(self, data, bit):
+        _, check = encode_word(data)
+        decoded, fixes = decode_word(data, check ^ (1 << bit))
+        assert decoded == data
+        assert fixes == 1
+
+    @given(
+        word64,
+        st.integers(0, 63),
+        st.integers(0, 63),
+    )
+    def test_double_data_bit_flip_detected(self, data, bit_a, bit_b):
+        if bit_a == bit_b:
+            return
+        _, check = encode_word(data)
+        corrupted = data ^ (1 << bit_a) ^ (1 << bit_b)
+        with pytest.raises(UncorrectableEccError):
+            decode_word(corrupted, check)
+
+    def test_oversized_word_rejected(self):
+        from repro.errors import MemoryError_
+
+        with pytest.raises(MemoryError_):
+            encode_word(1 << 64)
+
+
+class TestCodecLines:
+    @given(st.binary(min_size=128, max_size=128))
+    def test_line_roundtrip(self, line):
+        checks = encode_line(line)
+        assert len(checks) == 16
+        decoded, fixes = decode_line(line, checks)
+        assert decoded == line
+        assert fixes == 0
+
+    @given(st.binary(min_size=128, max_size=128), st.integers(0, 1023))
+    def test_single_flip_anywhere_in_line_corrected(self, line, bit):
+        checks = encode_line(line)
+        corrupted = bytearray(line)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        decoded, fixes = decode_line(bytes(corrupted), checks)
+        assert decoded == line
+        assert fixes == 1
+
+    def test_one_flip_per_word_all_corrected(self):
+        line = bytes(range(128))
+        checks = encode_line(line)
+        corrupted = bytearray(line)
+        for word in range(16):
+            corrupted[word * 8] ^= 0x01  # one flip in every word
+        decoded, fixes = decode_line(bytes(corrupted), checks)
+        assert decoded == line
+        assert fixes == 16
+
+
+class TestDramIntegration:
+    def make(self):
+        return DdrDram(1 * MIB, refresh_enabled=False, ecc_enabled=True)
+
+    def test_clean_roundtrip(self):
+        dram = self.make()
+        payload = bytes(range(128))
+        t = dram.write(0, payload, 0)
+        data, _ = dram.read(0, 128, t)
+        assert data == payload
+        assert dram.ecc_corrections == 0
+
+    def test_injected_bit_error_corrected_and_scrubbed(self):
+        dram = self.make()
+        payload = bytes([0xA5] * 128)
+        t = dram.write(0x400, payload, 0)
+        dram.inject_bit_error(0x400, bit=13)
+        data, _ = dram.read(0x400, 128, t)
+        assert data == payload
+        assert dram.ecc_corrections == 1
+        # the correction was written back: the raw cell is clean again
+        assert dram.backing.read(0x400, 128) == payload
+
+    def test_double_error_in_one_word_raises(self):
+        dram = self.make()
+        t = dram.write(0, bytes(128), 0)
+        dram.inject_bit_error(0, bit=3)
+        dram.inject_bit_error(0, bit=17)  # same 64-bit word
+        with pytest.raises(UncorrectableEccError):
+            dram.read(0, 128, t)
+        assert dram.ecc_uncorrectable == 1
+
+    def test_two_errors_in_different_words_both_corrected(self):
+        dram = self.make()
+        payload = bytes([0x3C] * 128)
+        t = dram.write(0, payload, 0)
+        dram.inject_bit_error(0, bit=5)
+        dram.inject_bit_error(0, bit=64 + 9)  # next word
+        data, _ = dram.read(0, 128, t)
+        assert data == payload
+        assert dram.ecc_corrections == 2
+
+    def test_unaligned_ecc_access_rejected(self):
+        dram = self.make()
+        with pytest.raises(AlignmentError):
+            dram.write(0, bytes(4), 0)
+
+    def test_ecc_disabled_returns_corrupted_data(self):
+        dram = DdrDram(1 * MIB, refresh_enabled=False, ecc_enabled=False)
+        payload = bytes([0xFF] * 128)
+        t = dram.write(0, payload, 0)
+        dram.inject_bit_error(0, bit=0)
+        data, _ = dram.read(0, 128, t)
+        assert data != payload  # silent corruption without ECC

@@ -1,0 +1,106 @@
+"""Tests for memory-map construction rules."""
+
+import pytest
+
+from repro.errors import FirmwareError
+from repro.processor import MIN_DMI_REGION_BYTES, TOP_OF_MAP, MemoryMap
+from repro.units import GIB, MIB
+
+
+def entry(mtype, capacity, channel, preserved=False):
+    return {
+        "memory_type": mtype,
+        "capacity_bytes": capacity,
+        "channel": channel,
+        "contents_preserved": preserved,
+    }
+
+
+class TestDramPlacement:
+    def test_dram_starts_at_zero(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0)])
+        assert mm.regions[0].base == 0
+
+    def test_dram_regions_contiguous(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 2), entry("dram", 8 * GIB, 0)])
+        assert mm.dram_is_contiguous_from_zero
+        mm.validate()
+
+    def test_dram_sorted_by_channel(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 5), entry("dram", 4 * GIB, 1)])
+        assert mm.regions[0].channel == 1
+        assert mm.regions[1].channel == 5
+
+    def test_dram_bytes_total(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("dram", 4 * GIB, 1)])
+        assert mm.dram_bytes == 8 * GIB
+
+
+class TestNvmPlacement:
+    def test_nvm_at_top_of_map(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("mram", 256 * MIB, 4)])
+        nvm = mm.nvm_regions()[0]
+        assert nvm.end == TOP_OF_MAP
+
+    def test_mram_gets_4gb_hardware_window(self):
+        # the firmware "lies" to the processor: 4 GB hardware window,
+        # true megabyte capacity reported to Linux
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("mram", 256 * MIB, 4)])
+        nvm = mm.nvm_regions()[0]
+        assert nvm.hw_size == MIN_DMI_REGION_BYTES
+        assert nvm.os_size == 256 * MIB
+
+    def test_large_nvdimm_keeps_true_window(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("nvdimm", 8 * GIB, 4)])
+        assert mm.nvm_regions()[0].hw_size == 8 * GIB
+
+    def test_preserved_flag_carried(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("mram", 256 * MIB, 4, True)])
+        assert mm.nvm_regions()[0].contents_preserved
+
+    def test_type_flags(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("nvdimm", 4 * GIB, 4)])
+        assert mm.region_at(0).memory_type == "dram"
+        assert mm.nvm_regions()[0].memory_type == "nvdimm"
+
+
+class TestQueriesAndValidation:
+    def test_region_at_translates(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("dram", 4 * GIB, 3)])
+        assert mm.region_at(4 * GIB).channel == 3
+
+    def test_unmapped_address_raises(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0)])
+        with pytest.raises(FirmwareError):
+            mm.region_at(100 * GIB)
+
+    def test_os_size_bounds_contains(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0), entry("mram", 256 * MIB, 4)])
+        nvm = mm.nvm_regions()[0]
+        assert nvm.contains(nvm.base)
+        assert nvm.contains(nvm.base + 256 * MIB - 1)
+        assert not nvm.contains(nvm.base + 256 * MIB)  # inside hw window, past OS size
+
+    def test_double_build_rejected(self):
+        mm = MemoryMap()
+        mm.build([entry("dram", 4 * GIB, 0)])
+        with pytest.raises(FirmwareError):
+            mm.build([entry("dram", 4 * GIB, 1)])
+
+    def test_validate_requires_dram(self):
+        mm = MemoryMap()
+        mm.build([entry("mram", 256 * MIB, 0)])
+        with pytest.raises(FirmwareError):
+            mm.validate()

@@ -1,0 +1,71 @@
+"""Property-based tests: memory-map invariants hold for arbitrary configs."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.processor import MIN_DMI_REGION_BYTES, TOP_OF_MAP, MemoryMap
+from repro.units import GIB, MIB
+
+# arbitrary channel populations: (memory_type, capacity, channel)
+entry_strategy = st.tuples(
+    st.sampled_from(["dram", "mram", "nvdimm"]),
+    st.sampled_from([128 * MIB, 256 * MIB, 1 * GIB, 4 * GIB, 8 * GIB]),
+    st.integers(0, 7),
+)
+
+
+def build_map(raw_entries):
+    # one card per channel: deduplicate by channel number
+    seen = {}
+    for mtype, capacity, channel in raw_entries:
+        seen.setdefault(channel, (mtype, capacity))
+    entries = [
+        {"memory_type": mtype, "capacity_bytes": cap, "channel": ch}
+        for ch, (mtype, cap) in seen.items()
+    ]
+    mm = MemoryMap()
+    mm.build(entries)
+    return mm, entries
+
+
+class TestMemoryMapProperties:
+    @given(st.lists(entry_strategy, min_size=1, max_size=8))
+    def test_regions_never_overlap(self, raw):
+        mm, _ = build_map(raw)
+        spans = sorted((r.base, r.end) for r in mm.regions)
+        for (b1, e1), (b2, _) in zip(spans, spans[1:]):
+            assert b2 >= e1
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=8))
+    def test_dram_contiguous_from_zero_when_present(self, raw):
+        mm, entries = build_map(raw)
+        if any(e["memory_type"] == "dram" for e in entries):
+            assert mm.dram_is_contiguous_from_zero
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=8))
+    def test_nvm_hardware_windows_at_least_4gb(self, raw):
+        mm, _ = build_map(raw)
+        for region in mm.nvm_regions():
+            assert region.hw_size >= MIN_DMI_REGION_BYTES
+            assert region.os_size <= region.hw_size
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=8))
+    def test_nvm_anchored_at_top(self, raw):
+        mm, _ = build_map(raw)
+        nvm = mm.nvm_regions()
+        if nvm:
+            assert max(r.end for r in nvm) == TOP_OF_MAP
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=8))
+    def test_every_os_byte_resolves_to_its_region(self, raw):
+        mm, _ = build_map(raw)
+        for region in mm.regions:
+            for probe in (region.base, region.base + region.os_size - 1):
+                assert mm.region_at(probe) is region
+
+    @given(st.lists(entry_strategy, min_size=1, max_size=8))
+    def test_total_os_bytes_match_entries(self, raw):
+        mm, entries = build_map(raw)
+        assert sum(r.os_size for r in mm.regions) == sum(
+            e["capacity_bytes"] for e in entries
+        )

@@ -1,0 +1,168 @@
+"""Tests for clock domains, stats primitives, and the RNG wrapper."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    BandwidthMeter,
+    ClockDomain,
+    Counter,
+    LatencyRecorder,
+    Rng,
+    StatsRegistry,
+    centaur_core_clock,
+    dmi_link_clock,
+    fabric_clock,
+    nest_clock,
+)
+from repro.units import GHZ, MHZ
+
+
+class TestClockDomain:
+    def test_fabric_period_is_4ns(self):
+        assert fabric_clock().period_ps == 4_000
+
+    def test_dmi_link_period_at_8ghz(self):
+        assert dmi_link_clock(8.0).period_ps == 125
+
+    def test_nest_clock_2ghz(self):
+        assert nest_clock().period_ps == 500
+
+    def test_centaur_core_clock(self):
+        assert centaur_core_clock().period_ps == 417  # 1/2.4GHz rounded
+
+    def test_cycles_roundtrip(self):
+        clk = ClockDomain("t", 250 * MHZ)
+        assert clk.cycles_to_ps(6) == 24_000
+        assert clk.ps_to_cycles(24_000) == 6
+
+    def test_ps_to_cycles_ceil(self):
+        clk = ClockDomain("t", 250 * MHZ)
+        assert clk.ps_to_cycles_ceil(4_001) == 2
+        assert clk.ps_to_cycles_ceil(4_000) == 1
+
+    def test_next_edge(self):
+        clk = ClockDomain("t", 1 * GHZ)  # 1000 ps period
+        assert clk.next_edge(0) == 0
+        assert clk.next_edge(1) == 1_000
+        assert clk.next_edge(1_000) == 1_000
+        assert clk.next_edge(1_500) == 2_000
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClockDomain("bad", 0)
+
+
+class TestCounter:
+    def test_add(self):
+        c = Counter("x")
+        c.add()
+        c.add(4)
+        assert c.count == 5
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.add(3)
+        c.reset()
+        assert c.count == 0
+
+
+class TestLatencyRecorder:
+    def test_mean(self):
+        rec = LatencyRecorder("l")
+        for sample in (1_000, 2_000, 3_000):
+            rec.record(sample)
+        assert rec.mean_ps() == 2_000
+        assert rec.mean_ns() == 2.0
+
+    def test_percentile(self):
+        rec = LatencyRecorder("l")
+        for sample in range(1, 101):
+            rec.record(sample)
+        assert rec.percentile_ps(50) == 50
+        assert rec.percentile_ps(99) == 99
+        assert rec.percentile_ps(100) == 100
+
+    def test_min_max(self):
+        rec = LatencyRecorder("l")
+        rec.record(5)
+        rec.record(50)
+        assert rec.min_ps() == 5
+        assert rec.max_ps() == 50
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("l").mean_ps()
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder("l").record(-1)
+
+    def test_stddev_single_sample_is_zero(self):
+        rec = LatencyRecorder("l")
+        rec.record(100)
+        assert rec.stddev_ps() == 0.0
+
+
+class TestBandwidthMeter:
+    def test_gb_per_s(self):
+        meter = BandwidthMeter("b")
+        meter.start(0)
+        meter.record(1_000, 1_000_000)  # 1000 bytes in 1 us -> 1 GB/s
+        assert meter.gb_per_s() == pytest.approx(1.0)
+
+    def test_empty_window_raises(self):
+        meter = BandwidthMeter("b")
+        meter.start(0)
+        with pytest.raises(ValueError):
+            meter.gb_per_s()
+
+
+class TestStatsRegistry:
+    def test_counter_reuse(self):
+        reg = StatsRegistry()
+        reg.counter("reads").add(2)
+        reg.counter("reads").add(3)
+        assert reg.counter("reads").count == 5
+
+    def test_snapshot(self):
+        reg = StatsRegistry()
+        reg.counter("ops").add(7)
+        reg.latency("cmd").record(2_000)
+        snap = reg.snapshot()
+        assert snap["count.ops"] == 7
+        assert snap["latency_ns.cmd"] == 2.0
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a, b = Rng(42), Rng(42)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_fork_is_deterministic(self):
+        a = Rng(42).fork("lane0")
+        b = Rng(42).fork("lane0")
+        assert a.random() == b.random()
+
+    def test_fork_different_labels_differ(self):
+        root = Rng(42)
+        a, b = root.fork("x"), root.fork("y")
+        assert [a.randint(0, 10**9) for _ in range(4)] != [
+            b.randint(0, 10**9) for _ in range(4)
+        ]
+
+    def test_chance_extremes(self):
+        rng = Rng(1)
+        assert rng.chance(0) is False
+        assert rng.chance(1) is True
+
+    def test_chance_probability_rough(self):
+        rng = Rng(7)
+        hits = sum(rng.chance(0.3) for _ in range(10_000))
+        assert 2_700 < hits < 3_300

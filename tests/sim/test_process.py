@@ -1,0 +1,139 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Process, Signal, Simulator, all_of
+
+
+class TestProcess:
+    def test_sleep_and_return(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1_000
+            yield 2_000
+            return sim.now_ps
+
+        proc = Process(sim, worker())
+        sim.run()
+        assert proc.result == 3_000
+
+    def test_result_before_finish_raises(self):
+        sim = Simulator()
+
+        def worker():
+            yield 1_000
+
+        proc = Process(sim, worker())
+        with pytest.raises(SimulationError):
+            _ = proc.result
+
+    def test_wait_on_signal_receives_value(self):
+        sim = Simulator()
+        sig = Signal("data")
+
+        def worker():
+            value = yield sig
+            return value
+
+        proc = Process(sim, worker())
+        sim.trigger_after(500, sig, "payload")
+        sim.run()
+        assert proc.result == "payload"
+
+    def test_join_child_process(self):
+        sim = Simulator()
+
+        def child():
+            yield 700
+            return "child-result"
+
+        def parent():
+            result = yield Process(sim, child())
+            return result
+
+        proc = Process(sim, parent())
+        sim.run()
+        assert proc.result == "child-result"
+        assert sim.now_ps == 700
+
+    def test_negative_delay_fails_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield -5
+
+        Process(sim, worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_unsupported_yield_fails_process(self):
+        sim = Simulator()
+
+        def worker():
+            yield "nonsense"
+
+        Process(sim, worker())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_exception_propagates_at_run(self):
+        sim = Simulator()
+
+        def worker():
+            yield 10
+            raise ValueError("model bug")
+
+        Process(sim, worker())
+        with pytest.raises(ValueError, match="model bug"):
+            sim.run()
+
+    def test_done_signal_triggers(self):
+        sim = Simulator()
+
+        def worker():
+            yield 10
+            return 99
+
+        proc = Process(sim, worker())
+        seen = []
+        proc.done.add_waiter(seen.append)
+        sim.run()
+        assert seen == [99]
+
+    def test_processes_interleave(self):
+        sim = Simulator()
+        order = []
+
+        def worker(name, delay):
+            yield delay
+            order.append(name)
+            yield delay
+            order.append(name)
+
+        Process(sim, worker("fast", 10))
+        Process(sim, worker("slow", 25))
+        sim.run()
+        assert order == ["fast", "fast", "slow", "slow"]
+
+
+class TestAllOf:
+    def test_gathers_results_in_order(self):
+        sim = Simulator()
+
+        def worker(delay, value):
+            yield delay
+            return value
+
+        procs = [Process(sim, worker(d, v)) for d, v in [(300, "a"), (100, "b"), (200, "c")]]
+        gathered = all_of(sim, procs)
+        sim.run()
+        assert gathered.result == ["a", "b", "c"]
+        assert sim.now_ps == 300
+
+    def test_empty_list(self):
+        sim = Simulator()
+        gathered = all_of(sim, [])
+        sim.run()
+        assert gathered.result == []

@@ -5,10 +5,17 @@ Runs every experiment in the harness and prints the markdown blocks; use
 this after changing any model to refresh the paper-vs-measured record:
 
     python scripts/regenerate_experiments.py > /tmp/experiments_raw.md
+    python scripts/regenerate_experiments.py --only table3
+    python scripts/regenerate_experiments.py --out /tmp/experiments_raw.md
 
 The fidelity-note prose in EXPERIMENTS.md is curated by hand; splice the
 regenerated tables into the existing structure rather than overwriting it.
 """
+
+from __future__ import annotations
+
+import argparse
+import sys
 
 from repro import (
     run_fig6,
@@ -22,25 +29,56 @@ from repro import (
     run_table5,
 )
 
+#: regeneration order mirrors EXPERIMENTS.md section order
+EXPERIMENTS = [
+    ("table1", run_table1, {}),
+    ("table2", run_table2, {"samples": 24}),
+    ("fig6", run_fig6, {"samples": 24}),
+    ("table3", run_table3, {"samples": 24}),
+    ("fig7", run_fig7, {"samples": 24}),
+    ("fig8", run_fig8, {}),
+    ("table4", run_table4, {"writes": 24}),
+    ("fio", run_fio_matrix, {"ios": 32}),
+    ("table5", run_table5, {"size_mib": 16}),
+]
 
-def main() -> None:
-    for fn, kwargs in [
-        (run_table1, {}),
-        (run_table2, {"samples": 24}),
-        (run_fig6, {"samples": 24}),
-        (run_table3, {"samples": 24}),
-        (run_fig7, {"samples": 24}),
-        (run_fig8, {}),
-        (run_table4, {"writes": 24}),
-    ]:
-        print(fn(**kwargs).to_markdown())
-        print()
-    fig9, fig10 = run_fio_matrix(ios=32)
-    print(fig9.to_markdown())
-    print()
-    print(fig10.to_markdown())
-    print()
-    print(run_table5(size_mib=16).to_markdown())
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        choices=[name for name, _, _ in EXPERIMENTS],
+        help="regenerate only this experiment (repeatable)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the markdown to this file instead of stdout",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
+    selected = [
+        (name, fn, kwargs)
+        for name, fn, kwargs in EXPERIMENTS
+        if not args.only or name in args.only
+    ]
+
+    blocks = []
+    for _, fn, kwargs in selected:
+        result = fn(**kwargs)
+        tables = result if isinstance(result, tuple) else (result,)
+        blocks.extend(table.to_markdown() for table in tables)
+    text = "\n\n".join(blocks) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {len(selected)} experiment(s) to {args.out}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(text)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Run one experiment under telemetry and write an artifact bundle.
+
+    python scripts/trace_experiment.py table3 --out /tmp/t3
+
+produces in the output directory:
+
+* ``trace.json``   — Chrome ``trace_event`` array; open in ``chrome://tracing``
+  or https://ui.perfetto.dev (spans per component: kernel, dmi, buffer,
+  memory, processor, storage, accel, workload);
+* ``metrics.jsonl`` — schema-versioned record stream (see docs/telemetry.md):
+  one ``meta`` record, one ``result`` record per ResultTable produced, and
+  metric snapshots; the last ``snapshot`` is the final counter state.
+
+The experiment names match the paper's tables/figures (``table1`` ..
+``table5``, ``fig6`` .. ``fig8``, ``fio`` for the Figure 9/10 matrix).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import (
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fio_matrix,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.telemetry import TraceSession, meta_record, result_record
+
+#: experiment name -> (runner, default kwargs). Runners return one
+#: ResultTable, except ``fio`` which returns (fig9, fig10).
+EXPERIMENTS = {
+    "table1": (run_table1, {}),
+    "table2": (run_table2, {"samples": 24}),
+    "table3": (run_table3, {"samples": 24}),
+    "table4": (run_table4, {"writes": 24}),
+    "table5": (run_table5, {"size_mib": 16}),
+    "fig6": (run_fig6, {"samples": 24}),
+    "fig7": (run_fig7, {"samples": 24}),
+    "fig8": (run_fig8, {}),
+    "fio": (run_fio_matrix, {"ios": 32}),
+}
+#: aliases: the fio matrix renders both Figure 9 and Figure 10
+ALIASES = {"fig9": "fio", "fig10": "fio"}
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + sorted(ALIASES),
+        help="paper table/figure to run",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="artifact directory (default: traces/<experiment>)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None,
+        help="override the experiment's sample/IO count knob",
+    )
+    parser.add_argument(
+        "--kernel-events", action="store_true",
+        help="also emit one instant per simulator event (large traces)",
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=None,
+        help="trace event buffer cap (further spans are dropped, counted)",
+    )
+    return parser.parse_args(argv)
+
+
+def resolve(name: str):
+    """Map a CLI name to (canonical name, runner, kwargs)."""
+    canonical = ALIASES.get(name, name)
+    runner, kwargs = EXPERIMENTS[canonical]
+    return canonical, runner, dict(kwargs)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    name, runner, kwargs = resolve(args.experiment)
+    if args.samples is not None:
+        # each runner exposes exactly one size knob; map --samples onto it
+        knob = next(iter(kwargs), None)
+        if knob is None:
+            print(f"note: {name} takes no sample knob; --samples ignored",
+                  file=sys.stderr)
+        else:
+            kwargs[knob] = args.samples
+
+    out_dir = Path(args.out or Path("traces") / name)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    session_kwargs = {"kernel_events": args.kernel_events}
+    if args.max_events is not None:
+        session_kwargs["max_events"] = args.max_events
+
+    with TraceSession(name, **session_kwargs) as session:
+        result = runner(**kwargs)
+    tables = list(result) if isinstance(result, tuple) else [result]
+
+    trace_path = out_dir / "trace.json"
+    metrics_path = out_dir / "metrics.jsonl"
+    session.write_chrome(trace_path)
+    session.write_metrics(
+        metrics_path,
+        extra_records=[meta_record(name, kwargs)]
+        + [result_record(t) for t in tables],
+    )
+
+    for table in tables:
+        print(table.to_markdown())
+        print()
+    print(f"trace:   {trace_path}  "
+          f"({session.span_count} spans, {session.instant_count} instants, "
+          f"{sorted(session.categories())})")
+    print(f"metrics: {metrics_path}")
+    if session.dropped_events:
+        print(f"warning: {session.dropped_events} events dropped "
+              f"(buffer cap {session.max_events})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

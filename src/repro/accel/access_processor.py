@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import AccelError
 from ..sim import ClockDomain, Process, Signal, Simulator, fabric_clock
+from ..telemetry import probe
 from .isa import NUM_REGISTERS, Instruction, Op
 
 #: burst size for DMA block transfers: one DRAM row
@@ -147,6 +148,8 @@ class AccessProcessor:
 
     def _interpret(self, contexts: List[ThreadContext]):
         """Round-robin interpreter: switch threads on YIELD and memory ops."""
+        start_ps = self.sim.now_ps
+        instructions_at_start = self.perf.instructions
         current = 0
         while any(not ctx.halted for ctx in contexts):
             ctx = contexts[current % len(contexts)]
@@ -168,6 +171,15 @@ class AccessProcessor:
                     yield from self._memory_op(ctx, instr)
                     break  # memory ops hand the pipeline to the next thread
                 self._alu_op(ctx, instr)
+        trace = probe.session  # re-fetch: program runs span many sim events
+        if trace is not None:
+            executed = self.perf.instructions - instructions_at_start
+            trace.complete(
+                "accel", f"program:{self.name}", start_ps, self.sim.now_ps,
+                {"threads": len(contexts), "instructions": executed},
+            )
+            trace.count("accel.programs")
+            trace.count("accel.instructions", executed)
         return contexts
 
     # -- ALU / control ---------------------------------------------------------------
@@ -315,16 +327,32 @@ class AccessProcessor:
     def dma_read(self, addr: int, length: int) -> Process:
         """Stream ``length`` bytes starting at ``addr``; result is the data."""
         def run():
+            t0 = self.sim.now_ps
             data = yield from self._dma_read(addr, length)
             self.perf.dma_bytes_read += len(data)
+            trace = probe.session  # re-fetch: stream spans many sim events
+            if trace is not None:
+                trace.complete(
+                    "accel", f"dmard:{self.name}", t0, self.sim.now_ps,
+                    {"bytes": len(data)},
+                )
+                trace.count("accel.dma_bytes_read", len(data))
             return data
 
         return Process(self.sim, run(), name=f"{self.name}.dmard")
 
     def dma_write(self, addr: int, data: bytes) -> Process:
         def run():
+            t0 = self.sim.now_ps
             yield from self._dma_write(addr, data)
             self.perf.dma_bytes_written += len(data)
+            trace = probe.session  # re-fetch: stream spans many sim events
+            if trace is not None:
+                trace.complete(
+                    "accel", f"dmawr:{self.name}", t0, self.sim.now_ps,
+                    {"bytes": len(data)},
+                )
+                trace.count("accel.dma_bytes_written", len(data))
             return len(data)
 
         return Process(self.sim, run(), name=f"{self.name}.dmawr")

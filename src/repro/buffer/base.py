@@ -18,6 +18,7 @@ from typing import Callable, Optional
 from ..dmi.commands import Command, Opcode, Response
 from ..errors import ProtocolError
 from ..sim import Simulator, StatsRegistry
+from ..telemetry import probe
 
 RespondFn = Callable[[Response], None]
 
@@ -42,6 +43,14 @@ class MemoryBuffer:
 
         def respond_and_record(response: Response) -> None:
             self.stats.latency("service").record(self.sim.now_ps - started)
+            trace = probe.session
+            if trace is not None:
+                trace.complete(
+                    "buffer", f"{self.kind}.{command.opcode.value}",
+                    started, self.sim.now_ps, {"addr": command.address},
+                )
+                trace.count(f"buffer.{self.kind}.commands")
+                trace.record("buffer.service_ps", self.sim.now_ps - started)
             respond(response)
 
         self._execute(command, respond_and_record)

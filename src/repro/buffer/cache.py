@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..telemetry import probe
 from ..units import CACHE_LINE_BYTES, MIB
 
 
@@ -73,11 +74,16 @@ class BufferCache:
         """Probe for the line containing ``addr``; LRU-promotes on hit."""
         set_no, tag = self._index(addr)
         line = self._sets[set_no].get(tag)
+        trace = probe.session
         if line is None:
             self.misses += 1
+            if trace is not None:
+                trace.count("buffer.cache.misses")
             return None
         self._sets[set_no].move_to_end(tag)
         self.hits += 1
+        if trace is not None:
+            trace.count("buffer.cache.hits")
         if (set_no, tag) in self._prefetched_tags:
             self.prefetch_hits += 1
             self._prefetched_tags.discard((set_no, tag))
@@ -98,6 +104,9 @@ class BufferCache:
             self._prefetched_tags.discard((set_no, victim_tag))
             if victim_line.dirty:
                 self.writebacks += 1
+                trace = probe.session
+                if trace is not None:
+                    trace.count("buffer.cache.writebacks")
                 victim = (self._line_addr(set_no, victim_tag), victim_line.data)
         assoc_set[tag] = _Line(data, dirty)
         assoc_set.move_to_end(tag)
@@ -107,10 +116,15 @@ class BufferCache:
         """Write a full line if present (marks dirty); returns hit/miss."""
         set_no, tag = self._index(addr)
         assoc_set = self._sets[set_no]
+        trace = probe.session
         if tag not in assoc_set:
+            if trace is not None:
+                trace.count("buffer.cache.write_misses")
             return False
         assoc_set[tag] = _Line(data, dirty=True)
         assoc_set.move_to_end(tag)
+        if trace is not None:
+            trace.count("buffer.cache.write_hits")
         return True
 
     def next_line_candidate(self, addr: int) -> Optional[int]:

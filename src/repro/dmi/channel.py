@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..errors import ProtocolError, ReplayError
 from ..sim import Signal, Simulator
+from ..telemetry import probe
 from ..units import CACHE_LINE_BYTES
 from .commands import Command, Opcode, Response
 from .frames import (
@@ -196,6 +197,14 @@ class FrameEndpoint:
     def _start_replay(self) -> None:
         self._consecutive_replays += 1
         self.replays_triggered += 1
+        trace = probe.session
+        if trace is not None:
+            trace.instant(
+                "dmi", f"replay:{self.name}", self.sim.now_ps,
+                {"consecutive": self._consecutive_replays,
+                 "outstanding": self._replay.outstanding},
+            )
+            trace.count("dmi.replays")
         if self._consecutive_replays > self.config.replay_limit:
             self._fail(ReplayError(
                 f"endpoint {self.name!r}: {self._consecutive_replays} replays "
@@ -309,6 +318,10 @@ class FrameEndpoint:
             frame = self.frame_in_cls.unpack(raw)
         except ProtocolError:
             self.crc_drops += 1
+            trace = probe.session
+            if trace is not None:
+                trace.instant("dmi", f"crc_drop:{self.name}", self.sim.now_ps)
+                trace.count("dmi.crc_drops")
             return
         # 1) the ACK piggybacked on this frame retires our transmitted frames
         if frame.ack_seq is not None:
@@ -329,6 +342,9 @@ class FrameEndpoint:
         if fwd == 1:
             self._last_accepted = frame.seq_id
             self.frames_accepted += 1
+            trace = probe.session
+            if trace is not None:
+                trace.count("dmi.frames_accepted")
             self._note_ack_owed()
             self.on_payload(frame)
         elif 2 <= fwd <= self.config.replay_depth:
@@ -416,6 +432,9 @@ class HostCommandLayer:
         done = Signal(f"cmd.tag{command.tag}")
         self._pending[command.tag] = _HostPending(command, done, self.sim.now_ps)
         self.commands_issued += 1
+        trace = probe.session
+        if trace is not None:
+            trace.count("dmi.commands_issued")
 
         first_chunk = None
         if command.opcode.has_downstream_data:
@@ -466,6 +485,15 @@ class HostCommandLayer:
                 pending.chunks[off] for off in range(0, CACHE_LINE_BYTES, UP_DATA_CHUNK)
             )
         self.commands_completed += 1
+        trace = probe.session
+        if trace is not None:
+            # the frame-loop round trip of one command: issue to done
+            trace.complete(
+                "dmi", f"cmd.{pending.command.opcode.value}",
+                pending.issued_ps, self.sim.now_ps, {"tag": tag},
+            )
+            trace.count("dmi.commands_completed")
+            trace.record("dmi.cmd_rtt_ps", self.sim.now_ps - pending.issued_ps)
         pending.signal.trigger(Response(tag, pending.command.opcode, data))
 
     @property

@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 from ..errors import ConfigurationError
 from ..sim import ClockDomain, Rng, Simulator
+from ..telemetry import probe
 from .frames import FRAME_UI
 from .scrambler import BundleScrambler
 
@@ -141,6 +142,11 @@ class SerialLink:
         wire = self.error_model.corrupt(wire, self.rng)
         arrival = start + self.frame_wire_ps + self.latency_ps
         self.frames_sent += 1
+        trace = probe.session
+        if trace is not None:
+            # serialization start through delivery: the whole wire transit
+            trace.complete("dmi", f"frame:{self.name}", start, arrival)
+            trace.count("dmi.frames_sent")
         self.sim.call_at(arrival, self._arrive, wire, packed)
         return arrival
 
@@ -148,6 +154,10 @@ class SerialLink:
         received = self._rx_scrambler.process(wire)
         if received != original:
             self.frames_corrupted += 1
+            trace = probe.session
+            if trace is not None:
+                trace.instant("dmi", f"corrupt:{self.name}", self.sim.now_ps)
+                trace.count("dmi.frames_corrupted")
         assert self._deliver is not None
         self._deliver(received)
 

@@ -23,6 +23,7 @@ from typing import List
 
 from ..errors import FrtlBudgetError, LinkTrainingError
 from ..sim import Process, Rng, Signal, Simulator
+from ..telemetry import probe
 from ..units import ns_to_ps
 from .channel import DmiChannel
 
@@ -85,6 +86,12 @@ class LinkTrainer:
 
     def _run(self, channel: DmiChannel):
         start_ps = self.sim.now_ps
+        trace = probe.session
+        if trace is not None:
+            # every train() entry is a (re)train of the channel: the first is
+            # initial bring-up, later ones are firmware-driven retrains
+            trace.instant("dmi", f"retrain:{channel.name}", start_ps)
+            trace.count("dmi.trainings_started")
         channel.down_link.resync()
         channel.up_link.resync()
 
@@ -113,6 +120,13 @@ class LinkTrainer:
                 f"host limit {self.config.host_max_frtl_ps / 1000:.1f} ns"
             )
         channel.set_frtl(frtl_ps)
+        trace = probe.session  # re-fetch: training spans many sim events
+        if trace is not None:
+            trace.complete(
+                "dmi", f"train:{channel.name}", start_ps, self.sim.now_ps,
+                {"frtl_ps": frtl_ps, "attempts": attempts_per_phase},
+            )
+            trace.count("dmi.trainings_completed")
         return TrainingResult(
             frtl_ps=frtl_ps,
             phase_attempts=attempts_per_phase,

@@ -44,6 +44,14 @@ class TagExhaustedError(ProtocolError):
     """All 32 host command tags are in flight and another issue was forced."""
 
 
+class TelemetryError(ReproError, ValueError):
+    """Telemetry misuse: duplicate metric name, kind clash, nested session.
+
+    Also a :class:`ValueError` — the legacy ``sim.stats`` wrappers raised
+    ``ValueError`` for bad metric arguments and callers catch it as such.
+    """
+
+
 class MemoryError_(ReproError):
     """A memory-device access was invalid (range, alignment, power state)."""
 

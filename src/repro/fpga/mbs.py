@@ -23,6 +23,7 @@ from typing import Callable, List, Optional
 from ..dmi.commands import Command, Opcode, Response
 from ..errors import ProtocolError
 from ..sim import ClockDomain, Signal, Simulator, fabric_clock
+from ..telemetry import probe
 from ..units import CACHE_LINE_BYTES
 from .alu import RmwAlu
 from .avalon import AvalonBus
@@ -91,6 +92,11 @@ class MbsLogic:
         )
 
     def _dispatch(self, engine: CommandEngine, command: Command, respond: RespondFn) -> None:
+        trace = probe.session
+        if trace is not None:
+            # command-engine scheduler occupancy, sampled at every allocate
+            trace.gauge_set("buffer.mbs.engines_busy", self.engines.busy_count)
+
         def finish(response: Response) -> None:
             self.engines.free(engine)
             self.sim.call_after(self._cycles_ps(RESPOND_CYCLES), respond, response)

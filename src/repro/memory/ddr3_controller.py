@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from ..errors import ConfigurationError
 from ..sim import Signal, Simulator
+from ..telemetry import probe
 from .device import MemoryDevice
 
 
@@ -73,6 +74,10 @@ class MemoryController:
         done = Signal(f"{self.name}.rd@{addr:#x}")
         self._enqueue(lambda: self._do_read(addr, nbytes, done))
         self.reads_submitted += 1
+        trace = probe.session
+        if trace is not None:
+            self._trace_op(trace, done, "rd")
+            trace.count("memory.reads")
         return done
 
     def submit_write(self, addr: int, data: bytes) -> Signal:
@@ -80,7 +85,20 @@ class MemoryController:
         done = Signal(f"{self.name}.wr@{addr:#x}")
         self._enqueue(lambda: self._do_write(addr, data, done))
         self.writes_submitted += 1
+        trace = probe.session
+        if trace is not None:
+            self._trace_op(trace, done, "wr")
+            trace.count("memory.writes")
         return done
+
+    def _trace_op(self, trace, done: Signal, op: str) -> None:
+        """Span one controller operation: submit through completion."""
+        t0 = self.sim.now_ps
+        done.add_waiter(
+            lambda _: trace.complete(
+                "memory", f"{op}:{self.name}", t0, self.sim.now_ps
+            )
+        )
 
     def _enqueue(self, action) -> None:
         if self.queue_full:

@@ -15,6 +15,7 @@ from typing import Optional
 from ..dmi import Command, DmiChannel, Opcode, TagPool
 from ..errors import ProtocolError
 from ..sim import LatencyRecorder, Signal, Simulator
+from ..telemetry import probe
 from ..units import CACHE_LINE_BYTES
 
 
@@ -52,6 +53,15 @@ class HostMemoryController:
             def complete(response) -> None:
                 self.tags.release(tag)
                 self.latency.record(self.sim.now_ps - issued_at)
+                trace = probe.session
+                if trace is not None:
+                    # tag acquire through done: includes any tag-window stall
+                    trace.complete(
+                        "processor", f"host.{opcode.value}",
+                        issued_at, self.sim.now_ps, {"addr": addr},
+                    )
+                    trace.count("processor.commands")
+                    trace.record("processor.cmd_ps", self.sim.now_ps - issued_at)
                 result.trigger(response)
 
             inner.add_waiter(complete)

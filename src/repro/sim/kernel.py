@@ -20,6 +20,7 @@ import heapq
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
+from ..telemetry import probe
 from .event import ScheduledCall, Signal
 
 
@@ -80,6 +81,20 @@ class Simulator:
             return True
         return False
 
+    def _step_traced(self, trace) -> bool:
+        """step() emitting one instant per event (kernel_events sessions)."""
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self._now_ps = call.time_ps
+            trace.instant(
+                "kernel", getattr(call.fn, "__qualname__", "event"), call.time_ps
+            )
+            call.fn(*call.args)
+            return True
+        return False
+
     def run(self, until_ps: Optional[int] = None, max_events: int = 50_000_000) -> int:
         """Run events until the queue drains or simulated time passes ``until_ps``.
 
@@ -90,6 +105,11 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         executed = 0
+        # Hoisted so the disabled-telemetry dispatch loop pays nothing per
+        # event beyond a LOAD_FAST; per-event emission only on request.
+        trace = probe.session
+        trace_events = trace is not None and trace.kernel_events
+        start_ps = self._now_ps
         try:
             while self._queue:
                 head = self._queue[0]
@@ -100,6 +120,11 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now_ps = head.time_ps
+                if trace_events:
+                    trace.instant(
+                        "kernel", getattr(head.fn, "__qualname__", "event"),
+                        head.time_ps,
+                    )
                 head.fn(*head.args)
                 executed += 1
                 if executed > max_events:
@@ -110,6 +135,12 @@ class Simulator:
             self._running = False
         if until_ps is not None and self._now_ps < until_ps:
             self._now_ps = until_ps
+        if trace is not None:
+            trace.complete(
+                "kernel", "run", start_ps, self._now_ps, {"events": executed}
+            )
+            trace.count("kernel.runs")
+            trace.count("kernel.events", executed)
         return executed
 
     def run_until_signal(self, signal: Signal, timeout_ps: Optional[int] = None) -> Any:
@@ -119,15 +150,28 @@ class Simulator:
         the optional timeout elapses before the signal fires.
         """
         deadline = None if timeout_ps is None else self._now_ps + timeout_ps
+        trace = probe.session
+        trace_events = trace is not None and trace.kernel_events
+        step = (lambda: self._step_traced(trace)) if trace_events else self.step
+        start_ps = self._now_ps
+        executed = 0
         while not signal.triggered:
             if deadline is not None and self._queue and self._queue[0].time_ps > deadline:
                 raise SimulationError(
                     f"timeout waiting for signal {signal.name!r} after {timeout_ps}ps"
                 )
-            if not self.step():
+            if not step():
                 raise SimulationError(
                     f"deadlock: event queue empty, signal {signal.name!r} never fired"
                 )
+            executed += 1
+        if trace is not None:
+            trace.complete(
+                "kernel", "run_until_signal", start_ps, self._now_ps,
+                {"signal": signal.name, "events": executed},
+            )
+            trace.count("kernel.signal_waits")
+            trace.count("kernel.events", executed)
         return signal.value
 
     @property

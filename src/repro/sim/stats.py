@@ -4,6 +4,22 @@ Models throughout the library record what happened through these classes so
 experiments report measured values rather than configured ones — e.g. the
 latency numbers in the Table 3 reproduction come out of a
 :class:`LatencyRecorder` fed by actual simulated round trips.
+
+These are now thin specializations of the :mod:`repro.telemetry.metrics`
+primitives (the telemetry subsystem's :class:`~repro.telemetry.registry.
+MetricsRegistry` absorbs and supersedes what used to live here), kept for
+their picosecond-flavoured APIs and for backward compatibility:
+
+* :class:`Counter` is the telemetry counter, unchanged;
+* :class:`LatencyRecorder` is a histogram of picosecond samples.  Its
+  historical strict accessors (``mean_ps`` raising on an empty recorder)
+  are preserved, while the telemetry-side :meth:`~repro.telemetry.metrics.
+  Histogram.percentiles` / ``summary()`` helpers are lenient — an empty
+  recorder summarizes to zeros, never ``ValueError`` or ``nan``;
+* :class:`StatsRegistry` keeps its flat legacy namespace but is backed by
+  a real :class:`~repro.telemetry.registry.MetricsRegistry`, so component
+  stats can be exported into a run artifact with :meth:`StatsRegistry.
+  export_into`.
 """
 
 from __future__ import annotations
@@ -11,86 +27,73 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional
 
+from ..telemetry.metrics import Counter, Histogram, Metric
+from ..telemetry.registry import MetricsRegistry
 from ..units import S
 
-
-class Counter:
-    """A named monotonic event counter."""
-
-    def __init__(self, name: str = ""):
-        self.name = name
-        self.count = 0
-
-    def add(self, n: int = 1) -> None:
-        if n < 0:
-            raise ValueError(f"counter {self.name!r}: cannot add negative {n}")
-        self.count += n
-
-    def reset(self) -> None:
-        self.count = 0
-
-    def __repr__(self) -> str:  # pragma: no cover
-        return f"<Counter {self.name}={self.count}>"
+__all__ = [
+    "BandwidthMeter",
+    "Counter",
+    "LatencyRecorder",
+    "StatsRegistry",
+]
 
 
-class LatencyRecorder:
+class LatencyRecorder(Histogram):
     """Collects latency samples (picoseconds) and summarizes them.
 
-    Keeps every sample; the experiment scales here are small enough (at most a
-    few hundred thousand operations) that exact percentiles beat streaming
-    approximations.
+    Keeps every sample; the experiment scales here are small enough (at most
+    a few hundred thousand operations) that exact percentiles beat streaming
+    approximations.  ``percentiles()`` / ``summary()`` (inherited) are safe
+    on an empty recorder; the ``*_ps`` accessors keep their historical
+    strict behaviour of raising when no samples were recorded.
     """
-
-    def __init__(self, name: str = ""):
-        self.name = name
-        self.samples_ps: List[int] = []
 
     def record(self, latency_ps: int) -> None:
         if latency_ps < 0:
             raise ValueError(f"latency recorder {self.name!r}: negative sample")
-        self.samples_ps.append(latency_ps)
+        self.samples.append(latency_ps)
 
     @property
-    def count(self) -> int:
-        return len(self.samples_ps)
+    def samples_ps(self) -> List[int]:
+        """Alias for :attr:`samples` (historical name)."""
+        return self.samples
 
     def mean_ps(self) -> float:
-        if not self.samples_ps:
+        if not self.samples:
             raise ValueError(f"latency recorder {self.name!r}: no samples")
-        return sum(self.samples_ps) / len(self.samples_ps)
+        return sum(self.samples) / len(self.samples)
 
     def mean_ns(self) -> float:
         return self.mean_ps() / 1_000
 
     def min_ps(self) -> int:
-        return min(self.samples_ps)
+        return min(self.samples)
 
     def max_ps(self) -> int:
-        return max(self.samples_ps)
+        return max(self.samples)
 
     def percentile_ps(self, pct: float) -> int:
-        """Nearest-rank percentile, ``pct`` in [0, 100]."""
-        if not self.samples_ps:
+        """Nearest-rank percentile, ``pct`` in [0, 100]; strict on empty."""
+        if not self.samples:
             raise ValueError(f"latency recorder {self.name!r}: no samples")
-        if not 0 <= pct <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {pct}")
-        ordered = sorted(self.samples_ps)
-        rank = max(0, math.ceil(pct / 100 * len(ordered)) - 1)
-        return ordered[rank]
+        return self.percentile(pct)
 
     def stddev_ps(self) -> float:
-        if len(self.samples_ps) < 2:
+        if len(self.samples) < 2:
             return 0.0
         mean = self.mean_ps()
-        var = sum((s - mean) ** 2 for s in self.samples_ps) / (len(self.samples_ps) - 1)
+        var = sum((s - mean) ** 2 for s in self.samples) / (len(self.samples) - 1)
         return math.sqrt(var)
 
 
-class BandwidthMeter:
+class BandwidthMeter(Metric):
     """Accumulates bytes moved over a measured window to report GB/s."""
 
+    kind = "bandwidth"
+
     def __init__(self, name: str = ""):
-        self.name = name
+        super().__init__(name)
         self.bytes_moved = 0
         self._start_ps: Optional[int] = None
         self._end_ps: Optional[int] = None
@@ -106,6 +109,11 @@ class BandwidthMeter:
         self.bytes_moved += num_bytes
         self._end_ps = now_ps
 
+    def reset(self) -> None:
+        self.bytes_moved = 0
+        self._start_ps = None
+        self._end_ps = None
+
     @property
     def window_ps(self) -> int:
         if self._start_ps is None or self._end_ps is None:
@@ -119,23 +127,49 @@ class BandwidthMeter:
             raise ValueError(f"bandwidth meter {self.name!r}: empty window")
         return self.bytes_moved / (window / S) / 1e9
 
+    def snapshot_into(self, out: Dict[str, float], prefix: str) -> None:
+        out[f"{prefix}.bytes"] = self.bytes_moved
+        if self.window_ps > 0 and self.bytes_moved > 0:
+            out[f"{prefix}.gbps"] = self.gb_per_s()
+
 
 class StatsRegistry:
-    """A flat namespace of named stats so components can expose counters."""
+    """A flat namespace of named stats so components can expose counters.
+
+    Backed by a :class:`~repro.telemetry.registry.MetricsRegistry`: the
+    legacy ``counters``/``latencies``/``bandwidths`` dict views and the
+    legacy ``snapshot()`` key format are preserved, and the full registry
+    is reachable as :attr:`metrics` for artifact export.
+    """
 
     def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
         self.counters: Dict[str, Counter] = {}
         self.latencies: Dict[str, LatencyRecorder] = {}
         self.bandwidths: Dict[str, BandwidthMeter] = {}
 
     def counter(self, name: str) -> Counter:
-        return self.counters.setdefault(name, Counter(name))
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.metrics.counter(name)
+            self.counters[name] = counter
+        return counter
 
     def latency(self, name: str) -> LatencyRecorder:
-        return self.latencies.setdefault(name, LatencyRecorder(name))
+        recorder = self.latencies.get(name)
+        if recorder is None:
+            recorder = LatencyRecorder(name)
+            self.metrics.register(recorder)
+            self.latencies[name] = recorder
+        return recorder
 
     def bandwidth(self, name: str) -> BandwidthMeter:
-        return self.bandwidths.setdefault(name, BandwidthMeter(name))
+        meter = self.bandwidths.get(name)
+        if meter is None:
+            meter = BandwidthMeter(name)
+            self.metrics.register(meter)
+            self.bandwidths[name] = meter
+        return meter
 
     def snapshot(self) -> Dict[str, float]:
         """A flat dict of current values (counts and mean latencies)."""
@@ -149,3 +183,7 @@ class StatsRegistry:
             if meter.window_ps > 0 and meter.bytes_moved > 0:
                 out[f"gbps.{name}"] = meter.gb_per_s()
         return out
+
+    def export_into(self, registry: MetricsRegistry, prefix: str) -> None:
+        """Mirror current values into ``registry`` under ``prefix`` (gauges)."""
+        registry.merge_flat(self.snapshot(), prefix)

@@ -13,6 +13,7 @@ from typing import Optional
 
 from ..errors import StorageError
 from ..sim import LatencyRecorder, Signal, Simulator
+from ..telemetry import probe
 
 SECTOR_BYTES = 512
 DEFAULT_IO_BYTES = 4096
@@ -47,6 +48,14 @@ class BlockDevice:
             self.reads += 1
             self.bytes_read += nbytes
             self.read_latency.record(self.sim.now_ps - t0)
+            trace = probe.session
+            if trace is not None:
+                trace.complete(
+                    "storage", f"rd:{self.name}", t0, self.sim.now_ps,
+                    {"bytes": nbytes},
+                )
+                trace.count("storage.reads")
+                trace.count("storage.bytes_read", nbytes)
             done.trigger(None)
 
         self._schedule_read(offset, nbytes, complete)
@@ -61,6 +70,14 @@ class BlockDevice:
             self.writes += 1
             self.bytes_written += nbytes
             self.write_latency.record(self.sim.now_ps - t0)
+            trace = probe.session
+            if trace is not None:
+                trace.complete(
+                    "storage", f"wr:{self.name}", t0, self.sim.now_ps,
+                    {"bytes": nbytes},
+                )
+                trace.count("storage.writes")
+                trace.count("storage.bytes_written", nbytes)
             done.trigger(None)
 
         self._schedule_write(offset, nbytes, complete)

@@ -22,6 +22,7 @@ from typing import List, Optional
 
 from ..errors import StorageError
 from ..sim import Signal, Simulator
+from ..telemetry import probe
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,13 @@ class NvWriteCache:
         if self._full_segments >= self.config.segments - 1:
             # log (almost) full: wait for a destage to free a segment
             self.stalls += 1
+            trace = probe.session
+            if trace is not None:
+                trace.instant(
+                    "storage", f"stall:{self.name}", self.sim.now_ps,
+                    {"full_segments": self._full_segments},
+                )
+                trace.count("storage.wcache.stalls")
             gate = Signal(f"{self.name}.stall")
             self._stalled.append(gate)
             gate.add_waiter(lambda _: self._stage(offset, nbytes, done))
@@ -97,6 +105,9 @@ class NvWriteCache:
 
         def staged(_):
             self.writes_staged += 1
+            trace = probe.session
+            if trace is not None:
+                trace.count("storage.wcache.staged")
             done.trigger(None)
             self._maybe_destage()
 
@@ -110,6 +121,7 @@ class NvWriteCache:
         if self._full_segments < self.config.destage_threshold:
             return
         self._destage_active = True
+        destage_start = self.sim.now_ps
         disk_offset = self._next_disk_offset
         self._next_disk_offset = (
             disk_offset + self.config.segment_bytes
@@ -120,6 +132,14 @@ class NvWriteCache:
             self.destages += 1
             self._full_segments -= 1
             self._destage_active = False
+            trace = probe.session
+            if trace is not None:
+                trace.complete(
+                    "storage", f"destage:{self.name}",
+                    destage_start, self.sim.now_ps,
+                    {"bytes": self.config.segment_bytes},
+                )
+                trace.count("storage.wcache.destages")
             # re-admit every stalled writer: the admission condition is
             # log occupancy, which just dropped for all of them alike
             stalled, self._stalled = self._stalled, []

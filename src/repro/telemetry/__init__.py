@@ -1,0 +1,55 @@
+"""Unified tracing, metrics, and run-artifact subsystem.
+
+The observability layer for the simulated memory stack: every component —
+the event kernel, the DMI link and channel, the buffer pipelines, the
+memory controllers, the storage stack, the accelerators — carries
+lightweight probes that are inert (one ``is None`` test) until a
+:class:`TraceSession` is entered:
+
+    from repro.telemetry import TraceSession
+
+    with TraceSession("table3") as session:
+        table = run_table3(samples=8)
+    session.write_chrome("/tmp/t3/trace.json")      # chrome://tracing
+    session.write_metrics("/tmp/t3/metrics.jsonl")  # schema-versioned JSONL
+
+See ``docs/telemetry.md`` for the artifact schema and
+``scripts/trace_experiment.py`` for the CLI that wraps any named
+experiment with a session.
+"""
+
+from .artifact import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    final_snapshot,
+    meta_record,
+    read_jsonl,
+    result_record,
+    snapshot_record,
+    write_jsonl,
+)
+from .chrome import load_chrome_trace, to_chrome_events, write_chrome_trace
+from .metrics import Counter, Gauge, Histogram, Metric
+from .registry import MetricsRegistry
+from .session import TraceEvent, TraceSession
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "TraceEvent",
+    "TraceSession",
+    "final_snapshot",
+    "load_chrome_trace",
+    "meta_record",
+    "read_jsonl",
+    "result_record",
+    "snapshot_record",
+    "to_chrome_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]

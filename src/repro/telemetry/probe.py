@@ -1,0 +1,54 @@
+"""The ambient trace hook instrumented components consult.
+
+This module is the *entire* coupling between the simulation models and the
+telemetry subsystem: instrumented code does
+
+    from ..telemetry import probe
+    ...
+    trace = probe.session
+    if trace is not None:
+        trace.count("dmi.frames_sent")
+
+``probe.session`` is ``None`` whenever no :class:`~repro.telemetry.session.
+TraceSession` is active, so the disabled cost at every instrumentation
+site is one module-attribute load and an ``is None`` test — no allocation,
+no call.  Hot inner loops (the kernel's event dispatch) hoist the check
+out of the loop entirely.
+
+Only one session may be active at a time; sessions activate themselves on
+``__enter__`` and must deactivate with the same object, which catches
+accidental nesting and leaked sessions deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import TelemetryError
+
+#: the active TraceSession, or None (telemetry off).  Read directly.
+session: Optional[object] = None
+
+
+def activate(new_session: object) -> None:
+    """Install ``new_session`` as the ambient session (fails if one is up)."""
+    global session
+    if session is not None:
+        raise TelemetryError(
+            "a TraceSession is already active; nested sessions are not "
+            "supported (close the outer session first)"
+        )
+    session = new_session
+
+
+def deactivate(old_session: object) -> None:
+    """Remove the ambient session; must be the one that activated."""
+    global session
+    if session is not old_session:
+        raise TelemetryError("deactivate() called with a non-active session")
+    session = None
+
+
+def active() -> bool:
+    """Whether a trace session is currently collecting."""
+    return session is not None

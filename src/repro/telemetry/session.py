@@ -1,0 +1,182 @@
+"""Trace sessions: span/instant collection plus a metrics registry.
+
+A :class:`TraceSession` is the opt-in switch for all telemetry.  While one
+is active (it is a context manager), instrumented components emit:
+
+* **spans** — `complete(category, name, start_ps, end_ps)` records one
+  bounded piece of work (a frame on the wire, a DMI command round trip, a
+  buffer service, a DRAM access) carrying simulated-time picosecond stamps;
+* **instants** — point events (a replay trigger, a CRC drop, a write-cache
+  stall);
+* **metrics** — named counters/gauges/histograms in the session's
+  :class:`~repro.telemetry.registry.MetricsRegistry`.
+
+Nothing here touches the simulator: call sites pass ``sim.now_ps``
+explicitly, which keeps this package import-safe from every layer
+(``repro.sim`` imports telemetry, never the other way around).
+
+Timestamps are picoseconds throughout; exporters convert to the Chrome
+``trace_event`` microsecond convention at write time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from . import probe
+from .artifact import snapshot_record, write_jsonl
+from .chrome import to_chrome_events, write_chrome_trace
+from .registry import MetricsRegistry
+
+#: default cap on stored trace events; beyond it events are counted but
+#: dropped (metrics keep accumulating — they are O(1) in space)
+DEFAULT_MAX_EVENTS = 2_000_000
+
+#: counters pre-registered at zero in every session so artifact snapshots
+#: have a stable core schema regardless of which paths a run exercises
+CORE_COUNTERS = (
+    "kernel.events",
+    "dmi.frames_sent",
+    "dmi.frames_accepted",
+    "dmi.replays",
+    "buffer.cache.hits",
+    "buffer.cache.misses",
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event.  ``dur_ps`` is None for instants."""
+
+    ph: str                      # "X" (complete span) | "i" (instant)
+    category: str                # component: kernel/dmi/buffer/memory/...
+    name: str
+    ts_ps: int
+    dur_ps: Optional[int] = None
+    args: Optional[dict] = None
+
+
+class TraceSession:
+    """Context-managed telemetry collection for one run."""
+
+    def __init__(
+        self,
+        name: str = "trace",
+        kernel_events: bool = False,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.name = name
+        #: when True, the simulator kernel emits one instant per dispatched
+        #: event — enormous traces, useful only for microscopic debugging
+        self.kernel_events = kernel_events
+        self.max_events = max_events
+        self.registry = registry or MetricsRegistry()
+        for core in CORE_COUNTERS:
+            self.registry.counter(core)
+        self.events: List[TraceEvent] = []
+        self.dropped_events = 0
+        self.snapshots: List[dict] = []
+        self._closed = False
+
+    # -- context management -------------------------------------------------
+
+    def __enter__(self) -> "TraceSession":
+        probe.activate(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        probe.deactivate(self)
+        self._closed = True
+        # always leave a final snapshot so artifacts are complete even when
+        # the caller never snapshotted explicitly (or the run raised)
+        self.snapshot("final")
+
+    # -- event emission -----------------------------------------------------
+
+    def complete(
+        self,
+        category: str,
+        name: str,
+        start_ps: int,
+        end_ps: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a bounded span [start_ps, end_ps] in simulated time."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(
+            TraceEvent("X", category, name, start_ps, max(0, end_ps - start_ps), args)
+        )
+
+    def instant(
+        self,
+        category: str,
+        name: str,
+        ts_ps: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a point event at ``ts_ps``."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent("i", category, name, ts_ps, None, args))
+
+    # -- metric shortcuts ---------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.registry.counter(name).add(n)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.registry.gauge(name).set(value)
+
+    def record(self, name: str, value: float) -> None:
+        self.registry.histogram(name).record(value)
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self, label: str, ts_ps: Optional[int] = None) -> Dict[str, float]:
+        """Snapshot the registry; stored (with the label) for the artifact."""
+        values = self.registry.snapshot()
+        self.snapshots.append({"label": label, "ts_ps": ts_ps, "metrics": values})
+        return values
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def span_count(self) -> int:
+        return sum(1 for e in self.events if e.ph == "X")
+
+    @property
+    def instant_count(self) -> int:
+        return sum(1 for e in self.events if e.ph == "i")
+
+    def categories(self) -> List[str]:
+        """Distinct component categories seen, sorted."""
+        return sorted({e.category for e in self.events})
+
+    # -- export -------------------------------------------------------------
+
+    def chrome_events(self) -> List[dict]:
+        """Chrome ``trace_event`` dicts (sorted by timestamp)."""
+        return to_chrome_events(self.events)
+
+    def write_chrome(self, path: str) -> int:
+        """Write the Chrome trace JSON; returns the number of events."""
+        return write_chrome_trace(path, self.events)
+
+    def write_metrics(self, path: str, extra_records: Optional[List[dict]] = None) -> int:
+        """Write the JSONL metrics artifact; returns the number of records.
+
+        The record stream is: any ``extra_records`` the caller prepends
+        (meta, results), then one snapshot record per :meth:`snapshot` call
+        in emission order — the last snapshot is the run's final state.
+        """
+        records = list(extra_records or [])
+        for snap in self.snapshots:
+            records.append(
+                snapshot_record(snap["label"], snap["ts_ps"], snap["metrics"])
+            )
+        return write_jsonl(path, records)

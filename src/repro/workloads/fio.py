@@ -13,6 +13,7 @@ from typing import List
 
 from ..errors import StorageError
 from ..sim import Rng, Signal, Simulator
+from ..telemetry import probe
 from ..units import S
 
 
@@ -85,6 +86,14 @@ class FioRunner:
         self.sim.run_until_signal(finished, timeout_ps=10**15)
 
         duration_ps = self.sim.now_ps - start_ps
+        trace = probe.session
+        if trace is not None:
+            trace.complete(
+                "workload", f"fio.{job.rw}", start_ps, self.sim.now_ps,
+                {"iodepth": job.iodepth, "ios": job.total_ios},
+            )
+            trace.count("workload.fio_jobs")
+            trace.count("workload.fio_ios", job.total_ios)
         ordered = sorted(latencies_ps)
         p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
         return FioResult(

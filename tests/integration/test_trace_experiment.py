@@ -1,0 +1,97 @@
+"""End-to-end telemetry: a traced experiment produces coherent artifacts."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import run_table3
+from repro.telemetry import TraceSession, final_snapshot, read_jsonl
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def traced_table3():
+    with TraceSession("table3") as session:
+        table = run_table3(samples=4)
+    return session, table
+
+
+class TestTracedRun:
+    def test_dmi_round_trip_spans_emitted(self, traced_table3):
+        session, _ = traced_table3
+        cmd_spans = [
+            e for e in session.events
+            if e.ph == "X" and e.category == "dmi" and e.name.startswith("cmd.")
+        ]
+        assert cmd_spans, "no DMI command round-trip spans"
+        assert all(e.dur_ps > 0 for e in cmd_spans)
+
+    def test_component_coverage(self, traced_table3):
+        session, _ = traced_table3
+        assert {"kernel", "dmi", "buffer", "memory"} <= set(session.categories())
+
+    def test_chrome_timestamps_monotonic(self, traced_table3):
+        session, _ = traced_table3
+        events = session.chrome_events()
+        assert len(events) > 100
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_counters_match_run_scale(self, traced_table3):
+        session, table = traced_table3
+        snap = session.snapshots[-1]["metrics"]
+        # table3 measures 6 configurations x 4 samples = 24 reads; every
+        # read is one host command with a frame each way plus command misc
+        assert snap["dmi.frames_sent"] >= 24
+        assert snap["dmi.frames_accepted"] >= 24
+        assert snap["buffer.cache.hits"] + snap["buffer.cache.misses"] >= 4
+        assert snap["kernel.events"] > 0
+        assert len(table.rows) == 6
+
+    def test_kernel_events_cover_signal_driven_runs(self):
+        # experiments drive the kernel through run_until_signal, which must
+        # honour kernel_events just like run() does
+        with TraceSession("t", kernel_events=True) as session:
+            run_table3(samples=2)
+        kernel_instants = [
+            e for e in session.events if e.ph == "i" and e.category == "kernel"
+        ]
+        assert len(kernel_instants) > 100
+
+    def test_tracing_leaves_results_unchanged(self, traced_table3):
+        _, traced = traced_table3
+        plain = run_table3(samples=4)
+        assert [row[:2] for row in plain.rows] == [
+            row[:2] for row in traced.rows
+        ]
+
+
+class TestCli:
+    def test_trace_experiment_bundle(self, tmp_path):
+        out = tmp_path / "t3"
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "trace_experiment.py"),
+             "table3", "--out", str(out), "--samples", "4"],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        events = json.loads((out / "trace.json").read_text())
+        assert isinstance(events, list) and events
+        for e in events:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e)
+            assert e["ph"] in {"B", "E", "X", "i"}
+        assert len({e["cat"] for e in events}) >= 4
+
+        records = read_jsonl(out / "metrics.jsonl")
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "meta"
+        assert "result" in kinds
+        snap = final_snapshot(records)["metrics"]
+        assert snap["dmi.frames_sent"] > 0
+        assert "buffer.cache.misses" in snap

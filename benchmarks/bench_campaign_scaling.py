@@ -1,0 +1,125 @@
+"""Campaign scaling: serial vs parallel vs cached wall-clock.
+
+Runs the same reduced experiment matrix three ways through the campaign
+engine and records the wall-clock of each into ``BENCH_campaign.json``
+(schema ``repro.bench/v1``) — the start of the campaign performance
+trajectory:
+
+1. **serial**   — one inline worker, cold cache (the historical
+   ``regenerate_experiments.py`` path);
+2. **parallel** — a process pool (``min(4, cpu_count)`` workers), cold
+   cache; on a multi-core host this is bounded below by the single
+   longest job, on a single-core host it degenerates to serial plus
+   pool overhead (``cpu_count`` is recorded so readers can tell);
+3. **cached**   — a re-run against the warm cache: every job served by
+   content address, no simulation at all.
+
+Standalone:      python benchmarks/bench_campaign_scaling.py
+Under pytest:    pytest benchmarks/bench_campaign_scaling.py -s
+"""
+
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.campaign import CampaignRunner, ResultCache, ScenarioMatrix  # noqa: E402
+
+#: artifact written next to this file (CI uploads it)
+ARTIFACT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_campaign.json")
+
+
+def scaling_matrix() -> ScenarioMatrix:
+    """A reduced paper sweep: every simulating experiment, small knobs.
+
+    Small enough for CI (a few seconds serial), varied enough that the
+    parallel schedule has real work to overlap.
+    """
+    matrix = ScenarioMatrix(base_seed=0)
+    matrix.add("table2", samples=8, seed=0)
+    matrix.add("fig6", samples=8, seed=0)
+    matrix.add("table3", samples=8, seed=0)
+    matrix.add("fig7", samples=8, seed=0)
+    matrix.add("table4", writes=8, seed=0)
+    matrix.add("table5", size_mib=4, seed=0)
+    matrix.add("fio", ios=8, seed=0)
+    return matrix
+
+
+def _timed_run(jobs, workers, cache):
+    t0 = time.perf_counter()
+    report = CampaignRunner(jobs, workers=workers, cache=cache).run()
+    elapsed = time.perf_counter() - t0
+    if report.failed:
+        raise RuntimeError(
+            f"campaign failed: {[o.job.job_id for o in report.failed]}"
+        )
+    return elapsed, report
+
+
+def run_scaling(artifact_path: str = ARTIFACT) -> dict:
+    jobs = scaling_matrix().expand()
+    cpu_count = multiprocessing.cpu_count()
+    # always at least 2 so the pool path is actually exercised; on a
+    # single-core host that measures pure scheduling overhead
+    workers = max(2, min(4, cpu_count))
+
+    serial_s, serial_report = _timed_run(jobs, workers=1, cache=None)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(os.path.join(tmp, "cache"))
+        parallel_s, parallel_report = _timed_run(jobs, workers=workers, cache=cache)
+        cached_s, cached_report = _timed_run(
+            jobs, workers=1, cache=ResultCache(os.path.join(tmp, "cache"))
+        )
+
+    if [t.rows for t in parallel_report.tables()] != [t.rows for t in serial_report.tables()]:
+        raise RuntimeError("parallel campaign diverged from the serial tables")
+    if cached_report.cache_hits != len(jobs):
+        raise RuntimeError(
+            f"warm re-run hit cache on {cached_report.cache_hits}/{len(jobs)} jobs"
+        )
+
+    record = {
+        "schema": "repro.bench/v1",
+        "benchmark": "campaign_scaling",
+        "cpu_count": cpu_count,
+        "parallel_workers": workers,
+        "jobs": len(jobs),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "cached_s": round(cached_s, 4),
+        "speedup_parallel": round(serial_s / parallel_s, 3),
+        "speedup_cached": round(serial_s / cached_s, 1),
+        "per_job_s": {
+            o.job.job_id: round(o.duration_s, 4) for o in serial_report.outcomes
+        },
+    }
+    with open(artifact_path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return record
+
+
+def test_campaign_scaling(tmp_path):
+    """Pytest entry: artifact is coherent and the cache path dominates."""
+    record = run_scaling(str(tmp_path / "BENCH_campaign.json"))
+    assert record["jobs"] >= 7
+    # the content-addressed cache must beat re-simulating by a wide margin
+    assert record["speedup_cached"] > 5
+    # parallel never loses badly: on one core it degenerates to ~serial
+    # (pool overhead only); with real cores it must actually win
+    if record["cpu_count"] >= 2:
+        assert record["speedup_parallel"] > 1.1
+    else:
+        assert record["speedup_parallel"] > 0.7
+
+
+if __name__ == "__main__":
+    result = run_scaling()
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(f"\nwrote {ARTIFACT}", file=sys.stderr)

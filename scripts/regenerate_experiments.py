@@ -7,9 +7,15 @@ this after changing any model to refresh the paper-vs-measured record:
     python scripts/regenerate_experiments.py > /tmp/experiments_raw.md
     python scripts/regenerate_experiments.py --only table3
     python scripts/regenerate_experiments.py --out /tmp/experiments_raw.md
+    python scripts/regenerate_experiments.py --jobs 4     # parallel workers
 
 The fidelity-note prose in EXPERIMENTS.md is curated by hand; splice the
 regenerated tables into the existing structure rather than overwriting it.
+
+This is a thin front-end over the campaign engine (``repro.campaign``):
+the experiment list is its registry's paper matrix, executed uncached so
+a regeneration always reflects the current source tree.  For cached,
+resumable, failure-tolerant sweeps use ``scripts/run_campaign.py``.
 """
 
 from __future__ import annotations
@@ -17,69 +23,48 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import (
-    run_fig6,
-    run_fig7,
-    run_fig8,
-    run_fio_matrix,
-    run_table1,
-    run_table2,
-    run_table3,
-    run_table4,
-    run_table5,
-)
-
-#: regeneration order mirrors EXPERIMENTS.md section order
-EXPERIMENTS = [
-    ("table1", run_table1, {}),
-    ("table2", run_table2, {"samples": 24}),
-    ("fig6", run_fig6, {"samples": 24}),
-    ("table3", run_table3, {"samples": 24}),
-    ("fig7", run_fig7, {"samples": 24}),
-    ("fig8", run_fig8, {}),
-    ("table4", run_table4, {"writes": 24}),
-    ("fio", run_fio_matrix, {"ios": 32}),
-    ("table5", run_table5, {"size_mib": 16}),
-]
+from repro.campaign import ALIASES, CampaignRunner, ScenarioMatrix, experiment_names
 
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--only", action="append", metavar="NAME",
-        choices=[name for name, _, _ in EXPERIMENTS],
+        choices=experiment_names() + sorted(ALIASES),
         help="regenerate only this experiment (repeatable)",
     )
     parser.add_argument(
         "--out", default=None, metavar="PATH",
         help="write the markdown to this file instead of stdout",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = inline, the historical serial path)",
+    )
     return parser.parse_args(argv)
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     args = parse_args(argv)
-    selected = [
-        (name, fn, kwargs)
-        for name, fn, kwargs in EXPERIMENTS
-        if not args.only or name in args.only
-    ]
+    only = [ALIASES.get(name, name) for name in args.only] if args.only else None
+    jobs = ScenarioMatrix.paper(only=only).expand()
+    report = CampaignRunner(jobs, workers=args.jobs).run()
+    for outcome in report.failed:
+        print(f"FAILED {outcome.job.job_id}: {outcome.error}", file=sys.stderr)
+        if outcome.traceback:
+            print(outcome.traceback, file=sys.stderr)
+    if report.failed:
+        return 1
 
-    blocks = []
-    for _, fn, kwargs in selected:
-        result = fn(**kwargs)
-        tables = result if isinstance(result, tuple) else (result,)
-        blocks.extend(table.to_markdown() for table in tables)
-    text = "\n\n".join(blocks) + "\n"
-
+    text = "\n\n".join(table.to_markdown() for table in report.tables()) + "\n"
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text)
-        print(f"wrote {len(selected)} experiment(s) to {args.out}",
-              file=sys.stderr)
+        print(f"wrote {len(jobs)} experiment(s) to {args.out}", file=sys.stderr)
     else:
         sys.stdout.write(text)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Run an experiment campaign: parallel, cached, resumable.
+
+The default campaign is the full paper regeneration (every table/figure
+at its EXPERIMENTS.md defaults, seed 0 — byte-identical to the serial
+``regenerate_experiments.py`` path):
+
+    python scripts/run_campaign.py --jobs 4
+    python scripts/run_campaign.py --jobs 2 --only table3 --only table1
+    python scripts/run_campaign.py --jobs 4 --resume      # finish a crashed run
+
+Custom sweeps come from a JSON matrix file (see docs/campaign.md):
+
+    python scripts/run_campaign.py --jobs 8 --matrix sweeps/latency.json
+
+The output directory receives:
+
+* ``experiments.md``  — every table, matrix order (the regenerate format);
+* ``manifest.jsonl``  — the ``repro.campaign/v1`` job journal (``--resume``
+  replays it);
+* ``metrics.jsonl``   — one merged ``repro.telemetry/v1`` artifact
+  (per-job snapshots + campaign totals).
+
+Results are served from the content-addressed cache when the same
+(experiment, kwargs, seed, code fingerprint) has already run; any source
+change invalidates the whole cache.  A failing job is retried with
+backoff, then recorded with its traceback — the campaign always runs to
+completion, and the exit code reports whether every job succeeded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.campaign import (
+    ALIASES,
+    CampaignRunner,
+    ResultCache,
+    ScenarioMatrix,
+    experiment_names,
+)
+
+
+def load_matrix(path: str) -> ScenarioMatrix:
+    """Build a ScenarioMatrix from its JSON description."""
+    with open(path, "r", encoding="utf-8") as fh:
+        spec = json.load(fh)
+    matrix = ScenarioMatrix(base_seed=spec.get("base_seed", 0))
+    for scenario in spec["scenarios"]:
+        matrix.add(scenario["experiment"], **scenario.get("axes", {}))
+    return matrix
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (1 = run inline, no pool)",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        choices=experiment_names() + sorted(ALIASES),
+        help="restrict the paper campaign to this experiment (repeatable)",
+    )
+    parser.add_argument(
+        "--matrix", default=None, metavar="FILE",
+        help="JSON scenario matrix (overrides --only/--seed's paper default)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed (paper matrix pins it; custom matrices derive "
+             "per-job seeds from it)",
+    )
+    parser.add_argument(
+        "--out", default="campaign-out", metavar="DIR",
+        help="output directory for experiments.md / manifest.jsonl / metrics.jsonl",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".campaign-cache", metavar="DIR",
+        help="content-addressed result cache location",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always run every job; don't read or write the cache",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed jobs from the existing manifest + cache",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job wall-clock limit in seconds",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="re-attempts per failing job (with exponential backoff)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print every table to stdout",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    if args.matrix:
+        matrix = load_matrix(args.matrix)
+    else:
+        only = [ALIASES.get(name, name) for name in args.only] if args.only else None
+        matrix = ScenarioMatrix.paper(only=only, seed=args.seed)
+    jobs = matrix.expand()
+    if not jobs:
+        print("matrix expanded to zero jobs", file=sys.stderr)
+        return 2
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.resume and cache is None:
+        print("--resume needs the cache; drop --no-cache", file=sys.stderr)
+        return 2
+
+    runner = CampaignRunner(
+        jobs,
+        workers=args.jobs,
+        cache=cache,
+        manifest_path=str(out_dir / "manifest.jsonl"),
+        resume=args.resume,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        base_seed=matrix.base_seed,
+    )
+    report = runner.run()
+
+    markdown = "\n\n".join(t.to_markdown() for t in report.tables()) + "\n"
+    (out_dir / "experiments.md").write_text(markdown, encoding="utf-8")
+    report.write_telemetry(
+        str(out_dir / "metrics.jsonl"),
+        params={"jobs": args.jobs, "seed": matrix.base_seed, "count": len(jobs)},
+    )
+
+    if args.verbose:
+        sys.stdout.write(markdown)
+    print(f"campaign: {report.summary()}", file=sys.stderr)
+    for outcome in report.failed:
+        print(f"  FAILED {outcome.job.job_id}: {outcome.error}", file=sys.stderr)
+    print(f"wrote {out_dir / 'experiments.md'}", file=sys.stderr)
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

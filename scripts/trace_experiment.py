@@ -22,41 +22,15 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro import (
-    run_fig6,
-    run_fig7,
-    run_fig8,
-    run_fio_matrix,
-    run_table1,
-    run_table2,
-    run_table3,
-    run_table4,
-    run_table5,
-)
+from repro.campaign import ALIASES, experiment_names, get_experiment
 from repro.telemetry import TraceSession, meta_record, result_record
-
-#: experiment name -> (runner, default kwargs). Runners return one
-#: ResultTable, except ``fio`` which returns (fig9, fig10).
-EXPERIMENTS = {
-    "table1": (run_table1, {}),
-    "table2": (run_table2, {"samples": 24}),
-    "table3": (run_table3, {"samples": 24}),
-    "table4": (run_table4, {"writes": 24}),
-    "table5": (run_table5, {"size_mib": 16}),
-    "fig6": (run_fig6, {"samples": 24}),
-    "fig7": (run_fig7, {"samples": 24}),
-    "fig8": (run_fig8, {}),
-    "fio": (run_fio_matrix, {"ios": 32}),
-}
-#: aliases: the fio matrix renders both Figure 9 and Figure 10
-ALIASES = {"fig9": "fio", "fig10": "fio"}
 
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + sorted(ALIASES),
+        choices=sorted(experiment_names()) + sorted(ALIASES),
         help="paper table/figure to run",
     )
     parser.add_argument(
@@ -66,6 +40,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument(
         "--samples", type=int, default=None,
         help="override the experiment's sample/IO count knob",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="pin the experiment's deterministic seed (default 0, the "
+             "historical value)",
     )
     parser.add_argument(
         "--kernel-events", action="store_true",
@@ -80,9 +59,8 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def resolve(name: str):
     """Map a CLI name to (canonical name, runner, kwargs)."""
-    canonical = ALIASES.get(name, name)
-    runner, kwargs = EXPERIMENTS[canonical]
-    return canonical, runner, dict(kwargs)
+    spec = get_experiment(name)
+    return spec.name, spec.runner, dict(spec.defaults)
 
 
 def main(argv=None) -> int:
@@ -96,6 +74,7 @@ def main(argv=None) -> int:
                   file=sys.stderr)
         else:
             kwargs[knob] = args.samples
+    kwargs["seed"] = args.seed
 
     out_dir = Path(args.out or Path("traces") / name)
     out_dir.mkdir(parents=True, exist_ok=True)

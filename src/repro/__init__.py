@@ -23,6 +23,7 @@ Quickstart::
 See ``examples/`` and ``benchmarks/`` for the paper's experiments.
 """
 
+from .campaign import CampaignJob, CampaignRunner, ResultCache, ScenarioMatrix
 from .core import (
     CardSpec,
     ContuttoSystem,
@@ -41,9 +42,13 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignJob",
+    "CampaignRunner",
     "CardSpec",
     "ContuttoSystem",
+    "ResultCache",
     "ResultTable",
+    "ScenarioMatrix",
     "__version__",
     "run_fig6",
     "run_fig7",

@@ -1,0 +1,61 @@
+"""Campaign engine: parallel, cached, fault-tolerant experiment sweeps.
+
+Turns the one-table-at-a-time experiment harness into a scheduled
+campaign: a declarative :class:`ScenarioMatrix` expands parameter grids
+into individually seeded :class:`CampaignJob`s, a :class:`CampaignRunner`
+executes them across a process pool with retries, per-job timeouts, and
+a content-addressed :class:`ResultCache`, and every completion is
+journaled to a JSONL manifest so a crashed or interrupted sweep resumes
+where it stopped.  Per-worker telemetry snapshots merge into one
+``repro.telemetry/v1`` artifact.
+
+    from repro.campaign import CampaignRunner, ResultCache, ScenarioMatrix
+
+    matrix = ScenarioMatrix(base_seed=42)
+    matrix.add("table3", samples=[8, 24, 96])
+    runner = CampaignRunner(matrix.expand(), workers=4,
+                            cache=ResultCache(".campaign-cache"))
+    report = runner.run()
+    for table in report.tables():
+        print(table.format())
+
+See ``docs/campaign.md`` for the matrix format, manifest/cache layout,
+and failure semantics; ``scripts/run_campaign.py`` is the CLI.
+"""
+
+from .cache import ResultCache, code_fingerprint, job_key
+from .manifest import (
+    ManifestWriter,
+    campaign_record,
+    completed_job_ids,
+    job_record,
+    read_manifest,
+)
+from .matrix import CampaignJob, ScenarioMatrix, canonical_kwargs
+from .registry import ALIASES, ExperimentSpec, experiment_names, get_experiment
+from .runner import CampaignReport, CampaignRunner, JobOutcome
+from .worker import execute_job, run_experiment, tables_of
+
+__all__ = [
+    "ALIASES",
+    "CampaignJob",
+    "CampaignReport",
+    "CampaignRunner",
+    "ExperimentSpec",
+    "JobOutcome",
+    "ManifestWriter",
+    "ResultCache",
+    "ScenarioMatrix",
+    "campaign_record",
+    "canonical_kwargs",
+    "code_fingerprint",
+    "completed_job_ids",
+    "execute_job",
+    "experiment_names",
+    "get_experiment",
+    "job_key",
+    "job_record",
+    "read_manifest",
+    "run_experiment",
+    "tables_of",
+]

@@ -1,0 +1,129 @@
+"""The campaign manifest: a JSONL journal enabling ``--resume``.
+
+One ``campaign`` header record, then one ``job`` record per completed
+attempt, appended as jobs finish (the file is an append-only journal —
+a crash mid-campaign loses at most the in-flight jobs).  Schema::
+
+    {"schema": "repro.campaign/v1", "kind": "campaign", "base_seed": ...,
+     "fingerprint": ..., "jobs": <total>}
+    {"schema": "repro.campaign/v1", "kind": "job", "job_id": ...,
+     "experiment": ..., "kwargs": {...}, "seed": ..., "key": <cache key>,
+     "status": "ok"|"failed", "source": "run"|"cache", "attempts": N,
+     "duration_s": ..., "error": ...?, "traceback": ...?}
+
+Resume semantics: a job whose latest record is ``status="ok"`` is served
+from the result cache (same content key); anything failed, missing, or
+no longer cache-resident re-runs.  Records for jobs that are no longer
+in the matrix are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: bump when record shapes change incompatibly
+SCHEMA = "repro.campaign/v1"
+
+
+def campaign_record(base_seed: int, fingerprint: str, total_jobs: int) -> dict:
+    return {
+        "schema": SCHEMA,
+        "kind": "campaign",
+        "base_seed": base_seed,
+        "fingerprint": fingerprint,
+        "jobs": total_jobs,
+    }
+
+
+def job_record(
+    job,
+    key: str,
+    status: str,
+    source: str,
+    attempts: int,
+    duration_s: float,
+    error: Optional[str] = None,
+    traceback: Optional[str] = None,
+) -> dict:
+    record = {
+        "schema": SCHEMA,
+        "kind": "job",
+        "job_id": job.job_id,
+        "experiment": job.experiment,
+        "kwargs": job.kwargs_dict,
+        "seed": job.seed,
+        "key": key,
+        "status": status,
+        "source": source,
+        "attempts": attempts,
+        "duration_s": round(duration_s, 6),
+    }
+    if error:
+        record["error"] = error
+    if traceback:
+        record["traceback"] = traceback
+    return record
+
+
+class ManifestWriter:
+    """Append-only JSONL writer, flushed per record."""
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a" if append else "w", encoding="utf-8")
+
+    def write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, separators=(",", ":"), default=str))
+        self._fh.write("\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "ManifestWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_manifest(path: str) -> List[dict]:
+    """Every record of a manifest; missing file ⇒ empty, bad lines skipped.
+
+    Tolerating a torn final line matters: resume reads manifests written
+    right up to a crash.
+    """
+    records: List[dict] = []
+    manifest = Path(path)
+    if not manifest.exists():
+        return records
+    with open(manifest, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def completed_job_ids(records: List[dict]) -> Dict[str, dict]:
+    """Map job_id -> latest ``status="ok"`` record (later records win)."""
+    done: Dict[str, dict] = {}
+    for record in records:
+        if record.get("kind") != "job":
+            continue
+        job_id = record.get("job_id")
+        if record.get("status") == "ok":
+            done[job_id] = record
+        else:
+            done.pop(job_id, None)
+    return done

@@ -1,0 +1,110 @@
+"""The experiment registry: the campaign engine's view of the harness.
+
+One :class:`ExperimentSpec` per paper table/figure, in EXPERIMENTS.md
+section order.  This is the single source of truth for "what can a
+campaign run": ``scripts/run_campaign.py``, ``scripts/
+regenerate_experiments.py``, and ``scripts/trace_experiment.py`` all
+resolve names through it, and worker processes look experiments up here
+by name (a string crosses the process boundary; a closure would not).
+
+Every runner accepts ``seed=`` (threaded through to the underlying
+system builds) plus its own size knob, and returns one
+:class:`~repro.core.results.ResultTable` — except ``fio``, which
+returns the ``(fig9, fig10)`` pair.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ..core.experiment import (
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fio_matrix,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One runnable experiment: name, callable, default kwargs."""
+
+    name: str
+    runner: Callable
+    defaults: Dict[str, object] = field(default_factory=dict)
+    #: hidden specs (self-test fixtures) are excluded from CLIs and
+    #: from the paper scenario matrix
+    hidden: bool = False
+
+
+#: registration order mirrors EXPERIMENTS.md section order
+_SPECS: List[ExperimentSpec] = [
+    ExperimentSpec("table1", run_table1, {}),
+    ExperimentSpec("table2", run_table2, {"samples": 24}),
+    ExperimentSpec("fig6", run_fig6, {"samples": 24}),
+    ExperimentSpec("table3", run_table3, {"samples": 24}),
+    ExperimentSpec("fig7", run_fig7, {"samples": 24}),
+    ExperimentSpec("fig8", run_fig8, {}),
+    ExperimentSpec("table4", run_table4, {"writes": 24}),
+    ExperimentSpec("fio", run_fio_matrix, {"ios": 32}),
+    ExperimentSpec("table5", run_table5, {"size_mib": 16}),
+]
+
+#: aliases: the fio matrix renders both Figure 9 and Figure 10
+ALIASES = {"fig9": "fio", "fig10": "fio"}
+
+
+# -- self-test fixtures -------------------------------------------------------
+#
+# Failure-path tests need an experiment that misbehaves on demand, and it
+# must be importable by name inside a worker process — a test-local
+# function cannot cross the pool boundary.  Hidden from every CLI.
+
+
+def _selftest_echo(value: int = 1, seed: int = 0):
+    from ..core.results import ResultTable
+
+    table = ResultTable("selftest echo", ["value", "seed"])
+    table.add_row(value, seed)
+    return table
+
+
+def _selftest_fail(fail_always: bool = True, seed: int = 0):
+    raise RuntimeError(f"selftest failure (seed={seed})")
+
+
+def _selftest_sleep(seconds: float = 5.0, seed: int = 0):
+    time.sleep(seconds)
+    return _selftest_echo(value=0, seed=seed)
+
+
+_SPECS += [
+    ExperimentSpec("_selftest_echo", _selftest_echo, {"value": 1}, hidden=True),
+    ExperimentSpec("_selftest_fail", _selftest_fail, {}, hidden=True),
+    ExperimentSpec("_selftest_sleep", _selftest_sleep, {"seconds": 5.0}, hidden=True),
+]
+
+REGISTRY: Dict[str, ExperimentSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def experiment_names(include_hidden: bool = False) -> List[str]:
+    """Public experiment names in EXPERIMENTS.md order."""
+    return [s.name for s in _SPECS if include_hidden or not s.hidden]
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Resolve a name (or alias) to its spec; raises ConfigurationError."""
+    canonical = ALIASES.get(name, name)
+    spec = REGISTRY.get(canonical)
+    if spec is None:
+        known = ", ".join(experiment_names())
+        raise ConfigurationError(f"unknown experiment {name!r} (known: {known})")
+    return spec

@@ -1,0 +1,62 @@
+"""The in-worker half of the campaign engine.
+
+:func:`execute_job` is the only function a pool worker runs.  It must be
+importable by name (``repro.campaign.worker.execute_job``) because the
+job description — not a closure — is what crosses the process boundary.
+Each invocation runs one experiment under its own
+:class:`~repro.telemetry.TraceSession` and returns a plain dict:
+pickle-friendly tables, the final metrics snapshot, wall-clock duration,
+and (on failure) the formatted traceback.  Exceptions never escape: a
+crashing experiment yields a ``status="failed"`` outcome so the parent
+can retry or record it without losing the rest of the campaign.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Dict, List, Tuple
+
+from ..telemetry import TraceSession
+from .matrix import CampaignJob
+from .registry import get_experiment
+
+
+def run_experiment(job: CampaignJob):
+    """Run one job's experiment in-process; returns the raw result."""
+    spec = get_experiment(job.experiment)
+    return spec.runner(**job.kwargs_dict, seed=job.seed)
+
+
+def execute_job(payload: Tuple[str, tuple, int]) -> Dict[str, object]:
+    """Pool entry point: run one job, never raise.
+
+    ``payload`` is ``(experiment, kwargs_pairs, seed)`` rather than a
+    :class:`CampaignJob` so the pickled message stays a plain tuple.
+    """
+    job = CampaignJob(*payload)
+    t0 = time.perf_counter()
+    try:
+        # traces are capped low: a campaign wants metrics, not span dumps
+        with TraceSession(f"campaign:{job.job_id}", max_events=0) as session:
+            result = run_experiment(job)
+        return {
+            "status": "ok",
+            "job_id": job.job_id,
+            "result": result,
+            "metrics": session.registry.snapshot(),
+            "duration_s": time.perf_counter() - t0,
+        }
+    except BaseException as exc:  # noqa: BLE001 — the whole point is containment
+        return {
+            "status": "failed",
+            "job_id": job.job_id,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+            "duration_s": time.perf_counter() - t0,
+        }
+
+
+def tables_of(result) -> List:
+    """Normalize a runner's return value to a list of ResultTables."""
+    return list(result) if isinstance(result, tuple) else [result]

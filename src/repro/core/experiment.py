@@ -61,8 +61,13 @@ from .system import CardSpec, ContuttoSystem
 # ---------------------------------------------------------------------------
 
 
-def run_table1() -> ResultTable:
-    """Regenerate Table 1 from the structural resource model."""
+def run_table1(seed: int = 0) -> ResultTable:
+    """Regenerate Table 1 from the structural resource model.
+
+    ``seed`` is accepted for harness uniformity; the resource table is
+    structural and has no stochastic element.
+    """
+    del seed
     table = ResultTable(
         "Table 1: FPGA resource utilization (base ConTutto design)",
         ["Resource", "Available", "Utilized", "Utilized %", "Paper utilized"],
@@ -102,32 +107,32 @@ def _contutto_system(knob: int, seed: int = 0) -> ContuttoSystem:
     )
 
 
-def measure_centaur_latencies(samples: int = 24) -> Dict[str, float]:
+def measure_centaur_latencies(samples: int = 24, seed: int = 0) -> Dict[str, float]:
     """Measured latency-to-memory for the four Table 2 configurations."""
     out = {}
     for config in (LATENCY_OPTIMIZED, DEFAULT, CONSERVATIVE, RELAXED):
-        system = _centaur_system(config)
+        system = _centaur_system(config, seed=seed)
         out[config.name] = system.measure_latency_ns("centaur", samples=samples)
     return out
 
 
-def measure_contutto_latencies(samples: int = 24) -> Dict[str, float]:
+def measure_contutto_latencies(samples: int = 24, seed: int = 0) -> Dict[str, float]:
     """Measured latencies for the Table 3 configurations."""
     out = {}
-    out["centaur"] = _centaur_system(LATENCY_OPTIMIZED).measure_latency_ns(
+    out["centaur"] = _centaur_system(LATENCY_OPTIMIZED, seed=seed).measure_latency_ns(
         "centaur", samples=samples
     )
-    out["function_matched"] = _centaur_system(FUNCTION_MATCHED).measure_latency_ns(
-        "centaur", samples=samples
-    )
+    out["function_matched"] = _centaur_system(
+        FUNCTION_MATCHED, seed=seed
+    ).measure_latency_ns("centaur", samples=samples)
     for knob, label in [(0, "contutto_base"), (2, "contutto_knob2"),
                         (6, "contutto_knob6"), (7, "contutto_knob7")]:
-        system = _contutto_system(knob)
+        system = _contutto_system(knob, seed=seed)
         out[label] = system.measure_latency_ns("contutto", samples=samples)
     return out
 
 
-def run_table2(samples: int = 24) -> ResultTable:
+def run_table2(samples: int = 24, seed: int = 0) -> ResultTable:
     """Centaur latency knobs vs DB2 BLU 29-query runtime."""
     table = ResultTable(
         "Table 2: Centaur latency settings vs DB2 BLU query runtime",
@@ -135,7 +140,7 @@ def run_table2(samples: int = 24) -> ResultTable:
          "DB2 runtime (s)", "Paper runtime"],
     )
     workload = Db2BluWorkload()
-    latencies = measure_centaur_latencies(samples)
+    latencies = measure_centaur_latencies(samples, seed=seed)
     for (name, paper_lat, paper_rt) in cal.TABLE2_ROWS:
         measured = latencies[name]
         runtime = workload.total_runtime_s(measured)
@@ -149,10 +154,10 @@ def run_table2(samples: int = 24) -> ResultTable:
     return table
 
 
-def run_fig6(samples: int = 24) -> ResultTable:
+def run_fig6(samples: int = 24, seed: int = 0) -> ResultTable:
     """SPEC CINT2006 ratios at the Centaur latency settings."""
     suite = SpecSuite()
-    latencies = measure_centaur_latencies(samples)
+    latencies = measure_centaur_latencies(samples, seed=seed)
     ordered = [name for name, _, _ in cal.TABLE2_ROWS]
     table = ResultTable(
         "Figure 6: SPEC CINT2006 ratios with variable latency on Centaur",
@@ -166,13 +171,13 @@ def run_fig6(samples: int = 24) -> ResultTable:
     return table
 
 
-def run_table3(samples: int = 24) -> ResultTable:
+def run_table3(samples: int = 24, seed: int = 0) -> ResultTable:
     """Variable latency settings on ConTutto."""
     table = ResultTable(
         "Table 3: variable latency settings on ConTutto",
         ["Configuration", "Latency (ns)", "Paper latency (ns)"],
     )
-    measured = measure_contutto_latencies(samples)
+    measured = measure_contutto_latencies(samples, seed=seed)
     for label, paper in cal.TABLE3_LATENCIES_NS.items():
         table.add_row(label, measured[label], paper)
     table.add_row("centaur_function_matched", measured["function_matched"],
@@ -187,10 +192,10 @@ def run_table3(samples: int = 24) -> ResultTable:
     return table
 
 
-def run_fig7(samples: int = 24) -> ResultTable:
+def run_fig7(samples: int = 24, seed: int = 0) -> ResultTable:
     """SPEC ratios with ConTutto latencies (Centaur as baseline)."""
     suite = SpecSuite()
-    measured = measure_contutto_latencies(samples)
+    measured = measure_contutto_latencies(samples, seed=seed)
     ordered = ["centaur", "contutto_base", "contutto_knob2",
                "contutto_knob6", "contutto_knob7"]
     table = ResultTable(
@@ -217,8 +222,12 @@ def run_fig7(samples: int = 24) -> ResultTable:
 # ---------------------------------------------------------------------------
 
 
-def run_fig8() -> ResultTable:
-    """Endurance comparison + implied lifetime on the memory bus."""
+def run_fig8(seed: int = 0) -> ResultTable:
+    """Endurance comparison + implied lifetime on the memory bus.
+
+    ``seed`` is accepted for harness uniformity; endurance is analytic.
+    """
+    del seed
     table = ResultTable(
         "Figure 8: endurance of non-volatile memory technologies",
         ["Technology", "Write cycles", "Paper cycles",
@@ -247,13 +256,14 @@ def run_fig8() -> ResultTable:
 # ---------------------------------------------------------------------------
 
 
-def run_table4(writes: int = 24) -> ResultTable:
+def run_table4(writes: int = 24, seed: int = 0) -> ResultTable:
     """GPFS small-random-write IOPS across the three persistent stores."""
     table = ResultTable(
         "Table 4: GPFS synchronous small-write performance",
         ["Technology", "Interface", "IOPS", "Paper IOPS"],
     )
-    job = GpfsJob(total_writes=writes)
+    # default seed=0 preserves the historical GpfsJob stream (seed 99)
+    job = GpfsJob(total_writes=writes, seed=99 + seed)
 
     # HDD direct
     sim = Simulator()
@@ -273,7 +283,8 @@ def run_table4(writes: int = 24) -> ResultTable:
             CardSpec(slot=2, kind="centaur", capacity_per_dimm=1 * GIB),
             CardSpec(slot=0, kind="contutto", memory="mram",
                      capacity_per_dimm=128 * MIB),
-        ]
+        ],
+        seed=seed,
     )
     pmem_blk = PmemBlockDevice(system.pmem_region())
     hdd = HardDiskDrive(system.sim, 4 * GIB)
@@ -311,19 +322,27 @@ FIO_STORES = ["flash_x4_pcie", "nvram_pcie", "mram_pcie",
               "mram_contutto", "nvdimm_contutto"]
 
 
-def run_fio_matrix(ios: int = 32, iodepth: int = 4) -> Tuple[ResultTable, ResultTable]:
+def run_fio_matrix(
+    ios: int = 32, iodepth: int = 4, seed: int = 0
+) -> Tuple[ResultTable, ResultTable]:
     """FIO over every (technology, attach point): Figures 9 and 10.
 
     Returns ``(fig9_iops, fig10_latency)``.
     """
+    # default seed=0 preserves the historical FioJob stream (seed 1234)
+    job_seed = 1234 + seed
     results = {}
     for name in FIO_STORES:
-        device, sim = _make_fio_store(name)
+        device, sim = _make_fio_store(name, seed=seed)
         runner = FioRunner(sim)
-        lat_read = runner.run(device, FioJob(rw="randread", total_ios=ios))
-        lat_write = runner.run(device, FioJob(rw="randwrite", total_ios=ios))
-        iops_read = runner.run(device, FioJob(rw="randread", iodepth=iodepth, total_ios=ios))
-        iops_write = runner.run(device, FioJob(rw="randwrite", iodepth=iodepth, total_ios=ios))
+        lat_read = runner.run(device, FioJob(rw="randread", total_ios=ios, seed=job_seed))
+        lat_write = runner.run(device, FioJob(rw="randwrite", total_ios=ios, seed=job_seed))
+        iops_read = runner.run(
+            device, FioJob(rw="randread", iodepth=iodepth, total_ios=ios, seed=job_seed)
+        )
+        iops_write = runner.run(
+            device, FioJob(rw="randwrite", iodepth=iodepth, total_ios=ios, seed=job_seed)
+        )
         results[name] = {
             "read_lat_us": lat_read.mean_latency_us,
             "write_lat_us": lat_write.mean_latency_us,
@@ -367,7 +386,7 @@ def run_fio_matrix(ios: int = 32, iodepth: int = 4) -> Tuple[ResultTable, Result
     return fig9, fig10
 
 
-def _make_fio_store(name: str):
+def _make_fio_store(name: str, seed: int = 0):
     """Build one store of the FIO matrix; returns (device, sim)."""
     if name.endswith("_pcie"):
         sim = Simulator()
@@ -384,7 +403,8 @@ def _make_fio_store(name: str):
             CardSpec(slot=2, kind="centaur", capacity_per_dimm=1 * GIB),
             CardSpec(slot=0, kind="contutto", memory=memory,
                      capacity_per_dimm=capacity),
-        ]
+        ],
+        seed=seed,
     )
     return PmemBlockDevice(system.pmem_region()), system.sim
 
@@ -394,7 +414,7 @@ def _make_fio_store(name: str):
 # ---------------------------------------------------------------------------
 
 
-def run_table5(size_mib: int = 16) -> ResultTable:
+def run_table5(size_mib: int = 16, seed: int = 0) -> ResultTable:
     """The three accelerated kernels vs their software baselines.
 
     ``size_mib`` scales the block the kernels process (the paper used 1 GB
@@ -417,7 +437,7 @@ def run_table5(size_mib: int = 16) -> ResultTable:
         ports = [MemoryController(sim, d) for d in dimms]
         return sim, dimms, AccessProcessor(sim, ports)
 
-    def seed(dimms, raw):
+    def preload(dimms, raw):
         chunk = 8 << 10
         for pos in range(0, len(raw), chunk):
             chunk_no = pos // chunk
@@ -427,7 +447,7 @@ def run_table5(size_mib: int = 16) -> ResultTable:
 
     # memory copy
     sim, dimms, ap = fresh_platform()
-    seed(dimms, bytes(nbytes))
+    preload(dimms, bytes(nbytes))
     engine = MemcopyEngine(sim, ap)
     t0 = sim.now_ps
     engine.run_to_completion(
@@ -440,8 +460,9 @@ def run_table5(size_mib: int = 16) -> ResultTable:
 
     # min/max
     sim, dimms, ap = fresh_platform()
-    rng = np.random.default_rng(11)
-    seed(dimms, rng.integers(-(2**31), 2**31 - 1, nbytes // 4, dtype=np.int32).tobytes())
+    # default seed=0 preserves the historical min/max data stream (seed 11)
+    rng = np.random.default_rng(11 + seed)
+    preload(dimms, rng.integers(-(2**31), 2**31 - 1, nbytes // 4, dtype=np.int32).tobytes())
     engine = MinMaxEngine(sim, ap)
     t0 = sim.now_ps
     engine.run_to_completion(ControlBlock(opcode=KERNEL_MINMAX, src=0, length=nbytes))
@@ -452,7 +473,7 @@ def run_table5(size_mib: int = 16) -> ResultTable:
 
     # 1024-point FFTs
     sim, dimms, ap = fresh_platform()
-    seed(dimms, bytes(nbytes))
+    preload(dimms, bytes(nbytes))
     farm = FftEngineFarm(sim, ap, num_engines=8)
     t0 = sim.now_ps
     farm.run_to_completion(

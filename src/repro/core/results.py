@@ -2,12 +2,34 @@
 
 Every experiment returns a :class:`ResultTable`; benchmarks print them so
 regenerating a paper table is ``print(run_table3().format())``.
+
+Tables are plain data: cells are coerced to native Python scalars at
+:meth:`~ResultTable.add_row` time (numpy scalars become ``int``/``float``),
+so every table pickles cheaply across process boundaries — the campaign
+runner (`repro.campaign`) ships them between workers and caches them on
+disk — and two tables from identically-seeded runs compare equal with
+``==``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
+
+
+def _plain_cell(value: Any) -> Any:
+    """Coerce numpy (or other ``.item()``-bearing) scalars to native Python."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            coerced = item()
+        except (TypeError, ValueError):
+            return value
+        if isinstance(coerced, (bool, int, float, str)):
+            return coerced
+    return value
 
 
 @dataclass
@@ -25,10 +47,21 @@ class ResultTable:
                 f"{self.title}: row has {len(values)} cells, table has "
                 f"{len(self.columns)} columns"
             )
-        self.rows.append(list(values))
+        self.rows.append([_plain_cell(v) for v in values])
 
     def add_note(self, note: str) -> None:
         self.notes.append(note)
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ResultTable":
+        """Rebuild a table from a ``repro.telemetry/v1`` ``result`` record
+        (the inverse of :func:`repro.telemetry.result_record`)."""
+        return cls(
+            record["title"],
+            list(record["columns"]),
+            [list(row) for row in record["rows"]],
+            list(record.get("notes", [])),
+        )
 
     def column(self, name: str) -> List[Any]:
         index = self.columns.index(name)

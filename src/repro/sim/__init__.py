@@ -10,7 +10,7 @@ from .clock import (
 from .event import ScheduledCall, Signal
 from .kernel import Simulator
 from .process import Process, all_of
-from .rng import Rng
+from .rng import Rng, derive_seed
 from .stats import BandwidthMeter, Counter, LatencyRecorder, StatsRegistry
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "StatsRegistry",
     "all_of",
     "centaur_core_clock",
+    "derive_seed",
     "dmi_link_clock",
     "fabric_clock",
     "nest_clock",

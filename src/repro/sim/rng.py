@@ -14,6 +14,24 @@ from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
 
+#: modulus of the child-seed mix; keeps derived seeds in signed-64 range
+_SEED_SPACE = 2**63
+
+
+def derive_seed(base: int, label: str) -> int:
+    """Mix ``base`` with ``label`` into a new seed, platform-stably.
+
+    This is the child-seed derivation used by :meth:`Rng.fork` and by the
+    campaign scheduler (`repro.campaign`) to give every job an independent
+    stream: the result depends only on ``(base, label)``, never on process
+    identity, worker assignment, or iteration order.  No ``hash()`` — that
+    is salted per process.
+    """
+    mixed = base % _SEED_SPACE
+    for ch in label:
+        mixed = (mixed * 1_000_003 + ord(ch)) % _SEED_SPACE
+    return mixed
+
 
 class Rng:
     """A named, seeded random stream (thin wrapper over :mod:`random.Random`)."""
@@ -29,9 +47,7 @@ class Rng:
         The child seed mixes the parent seed with the label hash in a
         platform-stable way (no ``hash()``, which is salted per process).
         """
-        mixed = self.seed
-        for ch in label:
-            mixed = (mixed * 1_000_003 + ord(ch)) % (2**63)
+        mixed = derive_seed(self.seed, label)
         return Rng(mixed, name=f"{self.name}/{label}" if self.name else label)
 
     # -- draws -------------------------------------------------------------

@@ -102,6 +102,37 @@ class MetricsRegistry:
                 out[key] = -value
         return out
 
+    #: snapshot-key suffixes that aggregate non-additively when merging
+    _MERGE_MIN = (".min",)
+    _MERGE_MAX = (".max", ".high_water")
+    _MERGE_LAST = (".mean", ".p50", ".p95", ".p99")
+
+    @classmethod
+    def merge_snapshots(cls, snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
+        """Fold per-run flat snapshots into one aggregate view.
+
+        The campaign runner uses this to merge worker telemetry: additive
+        keys (counters, histogram ``.count``, gauge values) sum; ``.min``
+        takes the minimum, ``.max``/``.high_water`` the maximum; per-run
+        distribution statistics (``.mean``/percentiles) keep the last
+        value seen — they don't aggregate linearly, and each run's own
+        values stay in its individual snapshot record.
+        """
+        merged: Dict[str, float] = {}
+        for snap in snapshots:
+            for key, value in snap.items():
+                if key not in merged:
+                    merged[key] = value
+                elif key.endswith(cls._MERGE_MIN):
+                    merged[key] = min(merged[key], value)
+                elif key.endswith(cls._MERGE_MAX):
+                    merged[key] = max(merged[key], value)
+                elif key.endswith(cls._MERGE_LAST):
+                    merged[key] = value
+                else:
+                    merged[key] += value
+        return dict(sorted(merged.items()))
+
     def reset(self) -> None:
         """Zero every registered metric (registrations survive)."""
         for metric in self._metrics.values():

@@ -1,0 +1,180 @@
+#!/usr/bin/env python
+"""Render a per-stage latency breakdown from attribution artifacts.
+
+    python scripts/analyze_latency.py /tmp/t3                 # one traced run
+    python scripts/analyze_latency.py campaign-out            # merged campaign
+    python scripts/analyze_latency.py a.jsonl b.jsonl --check # CI gate
+
+Inputs are ``repro.attribution/v1`` files (``attribution.jsonl``) or
+directories containing one.  Several inputs merge deterministically the
+way the campaign runner merges per-worker artifacts: sources sorted by
+label, journeys tagged with their source, summaries recomputed over the
+union.
+
+For every scenario the report shows the stage table (queueing vs service,
+p50/p95/p99/mean/max, share of total), the critical path (stages by mean
+contribution), and — when a baseline scenario exists — the per-stage
+delta against it, which is the paper's Table 3 decomposition: where the
+extra ConTutto nanoseconds actually go.
+
+``--check`` turns the breakdown's self-diagnostics into an exit code:
+non-zero when the artifact has no journeys, unattributed residual above
+tolerance, or negative stage durations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.results import ResultTable
+from repro.telemetry import LatencyBreakdown, merge_attribution, read_attribution
+from repro.telemetry.attribution import journey_records
+
+
+def resolve_input(arg: str) -> Path:
+    """Accept a JSONL file or a directory holding ``attribution.jsonl``."""
+    path = Path(arg)
+    if path.is_dir():
+        candidate = path / "attribution.jsonl"
+        if not candidate.exists():
+            raise FileNotFoundError(f"{path} has no attribution.jsonl")
+        return candidate
+    if not path.exists():
+        raise FileNotFoundError(path)
+    return path
+
+
+def load_journeys(paths) -> list:
+    """Journey records across all inputs (merged when there are several)."""
+    if len(paths) == 1:
+        return journey_records(read_attribution(str(paths[0])))
+    sources = [(str(p), journey_records(read_attribution(str(p)))) for p in paths]
+    return journey_records(merge_attribution(sources))
+
+
+def pick_baseline(scenarios, requested=None) -> str:
+    """The delta baseline: requested, else ``centaur``, else the first."""
+    if requested:
+        if requested not in scenarios:
+            raise KeyError(
+                f"baseline {requested!r} not in artifact (have: {scenarios})"
+            )
+        return requested
+    return "centaur" if "centaur" in scenarios else scenarios[0]
+
+
+def stage_table(breakdown: LatencyBreakdown, scenario: str) -> ResultTable:
+    e2e = breakdown.end_to_end(scenario)
+    table = ResultTable(
+        f"Latency breakdown: {scenario} "
+        f"({breakdown.journey_count(scenario)} journeys, "
+        f"mean {e2e['mean'] / 1000:.2f} ns end-to-end)",
+        ["Stage", "Kind", "Count", "Mean (ns)", "p50 (ns)", "p95 (ns)",
+         "p99 (ns)", "Max (ns)", "Share"],
+    )
+    for row in breakdown.stage_table(scenario):
+        table.add_row(
+            row["stage"], row["kind"], row["count"],
+            row["mean_ps"] / 1000, row["p50_ps"] / 1000, row["p95_ps"] / 1000,
+            row["p99_ps"] / 1000, row["max_ps"] / 1000,
+            f"{row['share']:.1%}",
+        )
+    residual = breakdown.residual(scenario)
+    if residual.get("count"):
+        table.add_note(
+            f"unattributed residual: mean {residual['mean']:.0f} ps, "
+            f"max {residual['max']:.0f} ps"
+        )
+    path = [r["stage"] for r in breakdown.critical_path(scenario)]
+    table.add_note("critical path (by mean contribution): " + " > ".join(path))
+    return table
+
+
+def delta_table(breakdown: LatencyBreakdown, scenario: str, baseline: str) -> ResultTable:
+    diff = breakdown.scenario_mean_ns(scenario) - breakdown.scenario_mean_ns(baseline)
+    table = ResultTable(
+        f"Stage deltas: {scenario} - {baseline} ({diff:+.2f} ns end-to-end)",
+        ["Stage", f"{scenario} (ns)", f"{baseline} (ns)", "Delta (ns)"],
+    )
+    for row in breakdown.delta(scenario, baseline):
+        table.add_row(
+            row["stage"], row["mean_ps"] / 1000, row["baseline_ps"] / 1000,
+            row["delta_ps"] / 1000,
+        )
+    return table
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "inputs", nargs="+",
+        help="attribution.jsonl files, or directories containing one",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="SCENARIO",
+        help="delta baseline (default: 'centaur' when present, else the "
+             "first scenario)",
+    )
+    parser.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="restrict the report to this scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.01,
+        help="residual tolerance as a fraction of mean latency (default 1%%)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if the breakdown's self-check reports warnings",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    try:
+        paths = [resolve_input(arg) for arg in args.inputs]
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    journeys = load_journeys(paths)
+    breakdown = LatencyBreakdown()
+    breakdown.add_records(journeys)
+
+    warnings = breakdown.check(tolerance=args.tolerance)
+    scenarios = breakdown.scenarios()
+    if args.scenario:
+        missing = [s for s in args.scenario if s not in scenarios]
+        if missing:
+            print(f"error: scenarios {missing} not in artifact "
+                  f"(have: {scenarios})", file=sys.stderr)
+            return 2
+        scenarios = [s for s in scenarios if s in args.scenario]
+
+    if scenarios:
+        try:
+            baseline = pick_baseline(breakdown.scenarios(), args.baseline)
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for scenario in scenarios:
+            print(stage_table(breakdown, scenario).to_markdown())
+            print()
+        for scenario in scenarios:
+            if scenario != baseline:
+                print(delta_table(breakdown, scenario, baseline).to_markdown())
+                print()
+
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.check and warnings:
+        print(f"check failed: {len(warnings)} warning(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,10 @@ The output directory receives:
 * ``manifest.jsonl``  — the ``repro.campaign/v1`` job journal (``--resume``
   replays it);
 * ``metrics.jsonl``   — one merged ``repro.telemetry/v1`` artifact
-  (per-job snapshots + campaign totals).
+  (per-job snapshots + campaign totals);
+* ``attribution.jsonl`` — one merged ``repro.attribution/v1`` artifact
+  (per-job request journeys + recomputed stage summaries; render with
+  ``scripts/analyze_latency.py``).
 
 Results are served from the content-addressed cache when the same
 (experiment, kwargs, seed, code fingerprint) has already run; any source
@@ -142,6 +145,7 @@ def main(argv=None) -> int:
         str(out_dir / "metrics.jsonl"),
         params={"jobs": args.jobs, "seed": matrix.base_seed, "count": len(jobs)},
     )
+    report.write_attribution(str(out_dir / "attribution.jsonl"))
 
     if args.verbose:
         sys.stdout.write(markdown)

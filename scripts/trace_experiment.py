@@ -7,10 +7,13 @@ produces in the output directory:
 
 * ``trace.json``   — Chrome ``trace_event`` array; open in ``chrome://tracing``
   or https://ui.perfetto.dev (spans per component: kernel, dmi, buffer,
-  memory, processor, storage, accel, workload);
+  memory, processor, storage, accel, workload; journey stage spans are
+  linked by flow arrows);
 * ``metrics.jsonl`` — schema-versioned record stream (see docs/telemetry.md):
   one ``meta`` record, one ``result`` record per ResultTable produced, and
-  metric snapshots; the last ``snapshot`` is the final counter state.
+  metric snapshots; the last ``snapshot`` is the final counter state;
+* ``attribution.jsonl`` — ``repro.attribution/v1`` request journeys plus
+  per-stage summaries; render with ``scripts/analyze_latency.py``.
 
 The experiment names match the paper's tables/figures (``table1`` ..
 ``table5``, ``fig6`` .. ``fig8``, ``fio`` for the Figure 9/10 matrix).
@@ -23,15 +26,19 @@ import sys
 from pathlib import Path
 
 from repro.campaign import ALIASES, experiment_names, get_experiment
+from repro.errors import ConfigurationError
 from repro.telemetry import TraceSession, meta_record, result_record
 
 
 def parse_args(argv=None) -> argparse.Namespace:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    known = ", ".join(sorted(experiment_names()) + sorted(ALIASES))
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=f"known experiments: {known}",
+    )
     parser.add_argument(
         "experiment",
-        choices=sorted(experiment_names()) + sorted(ALIASES),
-        help="paper table/figure to run",
+        help=f"paper table/figure to run (one of: {known})",
     )
     parser.add_argument(
         "--out", default=None,
@@ -43,8 +50,11 @@ def parse_args(argv=None) -> argparse.Namespace:
     )
     parser.add_argument(
         "--seed", type=int, default=0,
-        help="pin the experiment's deterministic seed (default 0, the "
-             "historical value)",
+        help="offset the experiment's deterministic seed streams.  Each "
+             "experiment keeps its own historical base seeds (e.g. the GPFS "
+             "job stream); --seed shifts them all by the given amount, so "
+             "the default 0 reproduces the documented results exactly and "
+             "any other value yields a distinct but still deterministic run",
     )
     parser.add_argument(
         "--kernel-events", action="store_true",
@@ -65,7 +75,11 @@ def resolve(name: str):
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    name, runner, kwargs = resolve(args.experiment)
+    try:
+        name, runner, kwargs = resolve(args.experiment)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.samples is not None:
         # each runner exposes exactly one size knob; map --samples onto it
         knob = next(iter(kwargs), None)
@@ -89,12 +103,14 @@ def main(argv=None) -> int:
 
     trace_path = out_dir / "trace.json"
     metrics_path = out_dir / "metrics.jsonl"
+    attribution_path = out_dir / "attribution.jsonl"
     session.write_chrome(trace_path)
     session.write_metrics(
         metrics_path,
         extra_records=[meta_record(name, kwargs)]
         + [result_record(t) for t in tables],
     )
+    session.write_attribution(attribution_path)
 
     for table in tables:
         print(table.to_markdown())
@@ -103,6 +119,11 @@ def main(argv=None) -> int:
           f"({session.span_count} spans, {session.instant_count} instants, "
           f"{sorted(session.categories())})")
     print(f"metrics: {metrics_path}")
+    journeys = session.journeys
+    if journeys is not None:
+        print(f"attribution: {attribution_path}  "
+              f"({len(journeys.completed)} journeys, "
+              f"{len(journeys.scenarios())} scenarios)")
     if session.dropped_events:
         print(f"warning: {session.dropped_events} events dropped "
               f"(buffer cap {session.max_events})", file=sys.stderr)

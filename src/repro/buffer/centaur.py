@@ -108,7 +108,9 @@ class Centaur(MemoryBuffer):
                 )
                 return
         port_no, local = self._route(command.address)
-        done = self.ports[port_no].submit_read(local, CACHE_LINE_BYTES)
+        done = self.ports[port_no].submit_read(
+            local, CACHE_LINE_BYTES, journey=command.journey
+        )
         done.add_waiter(
             lambda data: self._finish_read(command, data, respond)
         )
@@ -126,6 +128,8 @@ class Centaur(MemoryBuffer):
         )
 
     def _issue_prefetch(self, addr: int) -> None:
+        # prefetches (like victim writebacks in _install) stay journey-free:
+        # they serve the cache, not the command on the wire
         port_no, local = self._route(addr)
         done = self.ports[port_no].submit_read(local, CACHE_LINE_BYTES)
 
@@ -149,7 +153,9 @@ class Centaur(MemoryBuffer):
             )
             return
         port_no, local = self._route(command.address)
-        done = self.ports[port_no].submit_write(local, command.data)
+        done = self.ports[port_no].submit_write(
+            local, command.data, journey=command.journey
+        )
         done.add_waiter(
             lambda _: self.sim.call_after(
                 self.config.response_ps, respond, Response(command.tag, Opcode.WRITE)
@@ -167,7 +173,9 @@ class Centaur(MemoryBuffer):
                     merged[i] = command.data[i]
             if self.cache is not None:
                 self.cache.update(command.address, bytes(merged))
-            done = self.ports[port_no].submit_write(local, bytes(merged))
+            done = self.ports[port_no].submit_write(
+                local, bytes(merged), journey=command.journey
+            )
             done.add_waiter(
                 lambda _: self.sim.call_after(
                     self.config.response_ps,
@@ -181,9 +189,9 @@ class Centaur(MemoryBuffer):
             if cached is not None:
                 merge_and_write(cached)
                 return
-        self.ports[port_no].submit_read(local, CACHE_LINE_BYTES).add_waiter(
-            merge_and_write
-        )
+        self.ports[port_no].submit_read(
+            local, CACHE_LINE_BYTES, journey=command.journey
+        ).add_waiter(merge_and_write)
 
     # -- cache install with victim writeback --------------------------------------
 

@@ -30,7 +30,14 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..telemetry import MetricsRegistry, meta_record, result_record, snapshot_record, write_jsonl
+from ..telemetry import (
+    MetricsRegistry,
+    merge_attribution,
+    meta_record,
+    result_record,
+    snapshot_record,
+    write_jsonl,
+)
 from .cache import ResultCache
 from .manifest import (
     ManifestWriter,
@@ -54,6 +61,7 @@ class JobOutcome:
     duration_s: float = 0.0
     result: object = None            # ResultTable or tuple of ResultTables
     metrics: Dict[str, float] = field(default_factory=dict)
+    attribution: List[dict] = field(default_factory=list)  # journey records
     error: Optional[str] = None
     traceback: Optional[str] = None
 
@@ -121,6 +129,22 @@ class CampaignReport:
                 )
         records.append(snapshot_record("merged", None, self.merged_metrics()))
         return write_jsonl(path, records)
+
+    def write_attribution(self, path: str, name: str = "campaign") -> int:
+        """One ``repro.attribution/v1`` artifact for the whole campaign.
+
+        Per-job journey records merge the way metric snapshots do: sources
+        sorted by job id, journeys tagged with their source, summaries
+        recomputed over the union — deterministic for any worker count or
+        completion order.  Cache/resume hits carry no journeys (the job
+        never ran), so only executed jobs contribute.
+        """
+        sources = [
+            (f"job:{o.job.job_id}", o.attribution)
+            for o in self.outcomes
+            if o.attribution
+        ]
+        return write_jsonl(path, merge_attribution(sources, name=name))
 
 
 class CampaignRunner:
@@ -316,6 +340,7 @@ class CampaignRunner:
                 job, "ok", "run", attempts=attempts,
                 duration_s=raw["duration_s"], result=raw["result"],
                 metrics=raw.get("metrics", {}),
+                attribution=raw.get("attribution", []),
             )
             if self.cache is not None:
                 self.cache.put(job, raw["result"])

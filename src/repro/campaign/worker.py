@@ -17,7 +17,7 @@ import time
 import traceback
 from typing import Dict, List, Tuple
 
-from ..telemetry import TraceSession
+from ..telemetry import TraceSession, journey_record
 from .matrix import CampaignJob
 from .registry import get_experiment
 
@@ -38,13 +38,20 @@ def execute_job(payload: Tuple[str, tuple, int]) -> Dict[str, object]:
     t0 = time.perf_counter()
     try:
         # traces are capped low: a campaign wants metrics, not span dumps
+        # (journeys stay on — they are bounded and cross the pickle
+        # boundary as plain dicts for campaign-level attribution merging)
         with TraceSession(f"campaign:{job.job_id}", max_events=0) as session:
             result = run_experiment(job)
+        journeys = session.journeys
         return {
             "status": "ok",
             "job_id": job.job_id,
             "result": result,
             "metrics": session.registry.snapshot(),
+            "attribution": (
+                [journey_record(j) for j in journeys.completed]
+                if journeys is not None else []
+            ),
             "duration_s": time.perf_counter() - t0,
         }
     except BaseException as exc:  # noqa: BLE001 — the whole point is containment

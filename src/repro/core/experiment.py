@@ -50,11 +50,24 @@ from ..storage import (
     SolidStateDrive,
     WriteCacheConfig,
 )
+from ..telemetry import probe
 from ..units import GIB, MIB, S
 from ..workloads import Db2BluWorkload, FioJob, FioRunner, GpfsJob, GpfsWriter, SpecSuite
 from . import calibration as cal
 from .results import ResultTable
 from .system import CardSpec, ContuttoSystem
+
+
+def _set_attribution_scenario(label: str) -> None:
+    """Label journeys begun from here on (no-op when telemetry is off).
+
+    Measurement loops set the configuration's label just before measuring
+    and a ``<label>:boot`` label before each build, so boot-time traffic
+    never pollutes a measurement scenario in the latency breakdown.
+    """
+    trace = probe.session
+    if trace is not None and trace.journeys is not None:
+        trace.journeys.set_scenario(label)
 
 # ---------------------------------------------------------------------------
 # Table 1 — FPGA resource utilization
@@ -111,7 +124,9 @@ def measure_centaur_latencies(samples: int = 24, seed: int = 0) -> Dict[str, flo
     """Measured latency-to-memory for the four Table 2 configurations."""
     out = {}
     for config in (LATENCY_OPTIMIZED, DEFAULT, CONSERVATIVE, RELAXED):
+        _set_attribution_scenario(f"{config.name}:boot")
         system = _centaur_system(config, seed=seed)
+        _set_attribution_scenario(config.name)
         out[config.name] = system.measure_latency_ns("centaur", samples=samples)
     return out
 
@@ -119,15 +134,19 @@ def measure_centaur_latencies(samples: int = 24, seed: int = 0) -> Dict[str, flo
 def measure_contutto_latencies(samples: int = 24, seed: int = 0) -> Dict[str, float]:
     """Measured latencies for the Table 3 configurations."""
     out = {}
-    out["centaur"] = _centaur_system(LATENCY_OPTIMIZED, seed=seed).measure_latency_ns(
-        "centaur", samples=samples
-    )
-    out["function_matched"] = _centaur_system(
-        FUNCTION_MATCHED, seed=seed
-    ).measure_latency_ns("centaur", samples=samples)
+    _set_attribution_scenario("centaur:boot")
+    system = _centaur_system(LATENCY_OPTIMIZED, seed=seed)
+    _set_attribution_scenario("centaur")
+    out["centaur"] = system.measure_latency_ns("centaur", samples=samples)
+    _set_attribution_scenario("function_matched:boot")
+    system = _centaur_system(FUNCTION_MATCHED, seed=seed)
+    _set_attribution_scenario("function_matched")
+    out["function_matched"] = system.measure_latency_ns("centaur", samples=samples)
     for knob, label in [(0, "contutto_base"), (2, "contutto_knob2"),
                         (6, "contutto_knob6"), (7, "contutto_knob7")]:
+        _set_attribution_scenario(f"{label}:boot")
         system = _contutto_system(knob, seed=seed)
+        _set_attribution_scenario(label)
         out[label] = system.measure_latency_ns("contutto", samples=samples)
     return out
 

@@ -40,6 +40,7 @@ from ..memory import DdrDram, MemoryDevice, NvdimmN, SttMram, spd_for_device
 from ..processor import Power8Socket, SocketConfig
 from ..sim import Rng, Simulator
 from ..storage import PmemConfig, PmemRegion
+from ..telemetry import occupancy_sources, probe
 from ..units import GIB, MIB
 
 _MEMORY_FACTORIES = {
@@ -117,6 +118,11 @@ class ContuttoSystem:
             descriptors[spec.slot] = cls._make_card(sim, spec)
         flow = IplFlow(sim, socket, fsp=fsp, training=training)
         report = flow.boot(list(descriptors.values()))
+        trace = probe.session
+        if trace is not None and trace.occupancy is not None:
+            # point the active session's queue-depth sampler at this
+            # system's queues (replacing any previous build's sources)
+            trace.occupancy.set_sources(occupancy_sources(socket))
         return cls(sim, socket, descriptors, report, fsp)
 
     @staticmethod

@@ -494,6 +494,11 @@ class HostCommandLayer:
             )
             trace.count("dmi.commands_completed")
             trace.record("dmi.cmd_rtt_ps", self.sim.now_ps - pending.issued_ps)
+            journeys = trace.journeys
+            jid = pending.command.journey
+            if journeys is not None and jid is not None:
+                # upstream leg: buffer respond through done delivery
+                journeys.stage_to(jid, "dmi.up", self.sim.now_ps)
         pending.signal.trigger(Response(tag, pending.command.opcode, data))
 
     @property
@@ -522,10 +527,14 @@ class BufferCommandLayer:
         sim: Simulator,
         endpoint: FrameEndpoint,
         handler: Callable[[Command, Callable[[Response], None]], None],
+        channel_name: str = "",
     ):
         self.sim = sim
         self.endpoint = endpoint
         self.handler = handler
+        #: the owning channel's name — the journey tracker's binding key
+        #: (frames carry no journey id across the wire)
+        self.channel_name = channel_name or endpoint.name.rsplit(".", 1)[0]
         self._assembling: Dict[int, _BufferPending] = {}
         # Stats
         self.commands_received = 0
@@ -575,10 +584,28 @@ class BufferCommandLayer:
             )
         command = Command(op, pending.header.address, tag, data, byte_enable)
         self.commands_received += 1
+        trace = probe.session
+        if trace is not None:
+            journeys = trace.journeys
+            if journeys is not None:
+                jid = journeys.bound(self.channel_name, tag)
+                if jid is not None:
+                    # re-attach the journey the wire stripped, and close the
+                    # downstream leg: host issue through command assembly
+                    command.journey = jid
+                    journeys.stage_to(jid, "dmi.down", self.sim.now_ps)
         self.handler(command, lambda resp: self.respond(resp))
 
     def respond(self, response: Response) -> None:
         """Send a response upstream: data chunks (if any) then the done."""
+        trace = probe.session
+        if trace is not None:
+            journeys = trace.journeys
+            if journeys is not None:
+                jid = journeys.bound(self.channel_name, response.tag)
+                if jid is not None:
+                    # buffer window: command dispatch through response ready
+                    journeys.stage_to(jid, "buffer", self.sim.now_ps)
         if response.data is not None:
             offsets = list(range(0, CACHE_LINE_BYTES, UP_DATA_CHUNK))
             for off in offsets[:-1]:
@@ -636,7 +663,9 @@ class DmiChannel:
         up_link.connect(self.host_endpoint.deliver)
 
         self.host = HostCommandLayer(sim, self.host_endpoint)
-        self.buffer = BufferCommandLayer(sim, self.buffer_endpoint, buffer_handler)
+        self.buffer = BufferCommandLayer(
+            sim, self.buffer_endpoint, buffer_handler, channel_name=name
+        )
 
     def _host_payload(self, frame: Frame) -> None:
         assert isinstance(frame, UpstreamFrame)

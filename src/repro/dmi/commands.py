@@ -90,6 +90,10 @@ class Command:
     tag: int
     data: Optional[bytes] = None
     byte_enable: Optional[bytes] = field(default=None, repr=False)
+    #: attribution journey id (host-side only; never serialized into
+    #: frames — the buffer side recovers it from the (channel, tag)
+    #: binding in the journey tracker).  Not part of command identity.
+    journey: Optional[int] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.address % CACHE_LINE_BYTES != 0 and self.opcode is not Opcode.FLUSH:

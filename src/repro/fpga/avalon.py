@@ -103,15 +103,18 @@ class AvalonBus:
 
     # -- transfers ---------------------------------------------------------------
 
-    def read(self, port: int, addr: int, nbytes: int) -> Signal:
+    def read(
+        self, port: int, addr: int, nbytes: int, journey: Optional[int] = None
+    ) -> Signal:
         """Read via read port ``port``; signal triggers with the data."""
         slave, local = self._route(addr)
         slot = self.read_ports[port].issue_slot()
         done = Signal(f"{self.name}.rd@{addr:#x}")
         lead = slot - self.sim.now_ps + self.cdc_latency_ps
+        kwargs = self._journey_kwargs(slave, journey)
 
         def launch():
-            inner = slave.submit_read(local, nbytes)
+            inner = slave.submit_read(local, nbytes, **kwargs)
             inner.add_waiter(
                 lambda data: self.sim.call_after(self.cdc_latency_ps, done.trigger, data)
             )
@@ -119,18 +122,30 @@ class AvalonBus:
         self.sim.call_after(lead, launch)
         return done
 
-    def write(self, port: int, addr: int, data: bytes) -> Signal:
+    def write(
+        self, port: int, addr: int, data: bytes, journey: Optional[int] = None
+    ) -> Signal:
         """Write via write port ``port``; signal triggers on completion."""
         slave, local = self._route(addr)
         slot = self.write_ports[port].issue_slot()
         done = Signal(f"{self.name}.wr@{addr:#x}")
         lead = slot - self.sim.now_ps + self.cdc_latency_ps
+        kwargs = self._journey_kwargs(slave, journey)
 
         def launch():
-            inner = slave.submit_write(local, data)
+            inner = slave.submit_write(local, data, **kwargs)
             inner.add_waiter(
                 lambda _: self.sim.call_after(self.cdc_latency_ps, done.trigger, None)
             )
 
         self.sim.call_after(lead, launch)
         return done
+
+    @staticmethod
+    def _journey_kwargs(slave: object, journey: Optional[int]) -> dict:
+        """Only journey-aware slaves (``accepts_journey``) take the kwarg;
+        others — accelerator MMIO regions, third-party slaves — keep the
+        plain two-argument submit API."""
+        if journey is not None and getattr(slave, "accepts_journey", False):
+            return {"journey": journey}
+        return {}

@@ -119,7 +119,9 @@ class MbsLogic:
 
     def _do_read(self, engine: CommandEngine, command: Command, finish) -> None:
         addr = self.route(command.address)
-        done = self.avalon.read(engine.read_port, addr, CACHE_LINE_BYTES)
+        done = self.avalon.read(
+            engine.read_port, addr, CACHE_LINE_BYTES, journey=command.journey
+        )
         done.add_waiter(
             lambda data: finish(Response(command.tag, Opcode.READ, data))
         )
@@ -134,13 +136,15 @@ class MbsLogic:
         wait = max(0, ready_ps - self.sim.now_ps)
         self.sim.call_after(
             wait, self._issue_write, engine, addr, command.data, command.tag,
-            Opcode.WRITE, None, finish,
+            Opcode.WRITE, None, finish, command.journey,
         )
 
     def _do_rmw(self, engine: CommandEngine, command: Command, finish) -> None:
         assert command.data is not None
         addr = self.route(command.address)
-        read_done = self.avalon.read(engine.read_port, addr, CACHE_LINE_BYTES)
+        read_done = self.avalon.read(
+            engine.read_port, addr, CACHE_LINE_BYTES, journey=command.journey
+        )
 
         def merge(old: bytes) -> None:
             stored, returned, ready_ps = self.alus[engine.write_port].issue(
@@ -149,15 +153,15 @@ class MbsLogic:
             wait = max(0, ready_ps - self.sim.now_ps)
             self.sim.call_after(
                 wait, self._issue_write, engine, addr, stored, command.tag,
-                command.opcode, returned, finish,
+                command.opcode, returned, finish, command.journey,
             )
 
         read_done.add_waiter(merge)
 
     def _issue_write(
-        self, engine, addr, data, tag, opcode, returned, finish
+        self, engine, addr, data, tag, opcode, returned, finish, journey=None
     ) -> None:
-        done = self.avalon.write(engine.write_port, addr, data)
+        done = self.avalon.write(engine.write_port, addr, data, journey=journey)
 
         def complete(_):
             # finish the write before releasing flush waiters so a flush

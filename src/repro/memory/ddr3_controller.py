@@ -38,6 +38,10 @@ class MemoryControllerConfig:
 class MemoryController:
     """A queued, pipelined front end over one memory device."""
 
+    #: advertises the optional ``journey=`` kwarg on submit_read/submit_write
+    #: so callers (AvalonBus) can feature-test without importing this module
+    accepts_journey = True
+
     def __init__(
         self,
         sim: Simulator,
@@ -69,10 +73,15 @@ class MemoryController:
 
     # -- submission -----------------------------------------------------------
 
-    def submit_read(self, addr: int, nbytes: int) -> Signal:
+    def submit_read(
+        self, addr: int, nbytes: int, journey: Optional[int] = None
+    ) -> Signal:
         """Issue a read; returned signal triggers with the data bytes."""
         done = Signal(f"{self.name}.rd@{addr:#x}")
-        self._enqueue(lambda: self._do_read(addr, nbytes, done))
+        self._enqueue(
+            lambda: self._do_read(addr, nbytes, done),
+            self._journey_probe(journey, done),
+        )
         self.reads_submitted += 1
         trace = probe.session
         if trace is not None:
@@ -80,10 +89,15 @@ class MemoryController:
             trace.count("memory.reads")
         return done
 
-    def submit_write(self, addr: int, data: bytes) -> Signal:
+    def submit_write(
+        self, addr: int, data: bytes, journey: Optional[int] = None
+    ) -> Signal:
         """Issue a write; returned signal triggers (with None) on completion."""
         done = Signal(f"{self.name}.wr@{addr:#x}")
-        self._enqueue(lambda: self._do_write(addr, data, done))
+        self._enqueue(
+            lambda: self._do_write(addr, data, done),
+            self._journey_probe(journey, done),
+        )
         self.writes_submitted += 1
         trace = probe.session
         if trace is not None:
@@ -100,17 +114,42 @@ class MemoryController:
             )
         )
 
-    def _enqueue(self, action) -> None:
+    def _journey_probe(self, journey: Optional[int], done: Signal):
+        """Build a start hook attributing queue wait vs. service for one
+        journey, or None when attribution is off (the common case)."""
+        if journey is None:
+            return None
+        trace = probe.session
+        if trace is None or trace.journeys is None:
+            return None
+        journeys = trace.journeys
+        submit_ps = self.sim.now_ps
+
+        def on_start() -> None:
+            start_ps = self.sim.now_ps
+            # queue-full stall: submit through the slot opening
+            journeys.stage_span(journey, "memory.queue", submit_ps, start_ps, kind="queue")
+            done.add_waiter(
+                lambda _: journeys.stage_span(
+                    journey, "memory.service", start_ps, self.sim.now_ps
+                )
+            )
+
+        return on_start
+
+    def _enqueue(self, action, on_start=None) -> None:
         if self.queue_full:
             self.queue_full_stalls += 1
             gate = Signal(f"{self.name}.stall")
             self._stalled.append(gate)
-            gate.add_waiter(lambda _: self._start(action))
+            gate.add_waiter(lambda _: self._start(action, on_start))
         else:
-            self._start(action)
+            self._start(action, on_start)
 
-    def _start(self, action) -> None:
+    def _start(self, action, on_start=None) -> None:
         self._in_flight += 1
+        if on_start is not None:
+            on_start()
         self.sim.call_after(self.config.command_overhead_ps, action)
 
     def _finish(self) -> None:

@@ -45,9 +45,25 @@ class HostMemoryController:
         """
         result = Signal(f"{self.name}.{opcode.value}@{addr:#x}")
         issued_at = self.sim.now_ps
+        trace = probe.session
+        journeys = None
+        jid = None
+        if trace is not None:
+            # every transaction passes here, so this is the arrival point
+            # that drives periodic occupancy sampling
+            if trace.occupancy is not None:
+                trace.occupancy.maybe_sample(trace, issued_at)
+            journeys = trace.journeys
+            if journeys is not None:
+                jid = journeys.begin(opcode.value, addr, self.channel.name, issued_at)
 
         def with_tag(tag: int) -> None:
-            command = Command(opcode, addr, tag, data, byte_enable)
+            if jid is not None:
+                # only recorded when acquisition actually stalled (the
+                # cursor advances regardless, so the partition holds)
+                journeys.stage_to(jid, "host.tag_wait", self.sim.now_ps, kind="queue")
+                journeys.bind(self.channel.name, tag, jid)
+            command = Command(opcode, addr, tag, data, byte_enable, journey=jid)
             inner = self.channel.host.issue(command)
 
             def complete(response) -> None:
@@ -62,6 +78,9 @@ class HostMemoryController:
                     )
                     trace.count("processor.commands")
                     trace.record("processor.cmd_ps", self.sim.now_ps - issued_at)
+                if jid is not None:
+                    journeys.unbind(self.channel.name, tag)
+                    journeys.finish(jid, self.sim.now_ps)
                 result.trigger(response)
 
             inner.add_waiter(complete)

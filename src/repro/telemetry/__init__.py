@@ -28,24 +28,44 @@ from .artifact import (
     snapshot_record,
     write_jsonl,
 )
+from .attribution import (
+    ATTRIBUTION_SCHEMA,
+    Journey,
+    JourneyTracker,
+    LatencyBreakdown,
+    OccupancySampler,
+    journey_record,
+    merge_attribution,
+    occupancy_sources,
+    read_attribution,
+)
 from .chrome import load_chrome_trace, to_chrome_events, write_chrome_trace
 from .metrics import Counter, Gauge, Histogram, Metric
 from .registry import MetricsRegistry
 from .session import TraceEvent, TraceSession
 
 __all__ = [
+    "ATTRIBUTION_SCHEMA",
     "Counter",
     "Gauge",
     "Histogram",
+    "Journey",
+    "JourneyTracker",
+    "LatencyBreakdown",
     "Metric",
     "MetricsRegistry",
+    "OccupancySampler",
     "SCHEMA",
     "SCHEMA_VERSION",
     "TraceEvent",
     "TraceSession",
     "final_snapshot",
+    "journey_record",
     "load_chrome_trace",
+    "merge_attribution",
     "meta_record",
+    "occupancy_sources",
+    "read_attribution",
     "read_jsonl",
     "result_record",
     "snapshot_record",

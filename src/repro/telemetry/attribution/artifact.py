@@ -1,0 +1,181 @@
+"""The ``repro.attribution/v1`` artifact: journeys on disk, mergeable.
+
+Record stream (JSON Lines, one object per line):
+
+``meta``
+    First record: schema, session/source name, journey counts (completed,
+    dropped, abandoned in flight), the scenario labels seen.
+``journey``
+    One per completed journey: identity, scenario, bounds, and the stage
+    visits with their queue/service classification.
+``stage_summary``
+    One per (scenario, stage): the aggregated statistics the breakdown
+    computes — so a reader can grep headline numbers without re-folding
+    every journey.
+
+Merging follows the :meth:`MetricsRegistry.merge_snapshots` philosophy:
+per-worker artifacts combine into one campaign artifact deterministically
+— sources sorted by label, journeys kept in per-source order and tagged
+with their source, summaries recomputed over the union — so the merged
+file is byte-identical regardless of worker count or completion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..artifact import read_jsonl, write_jsonl
+from .breakdown import LatencyBreakdown
+from .journey import Journey
+
+#: bump when attribution record shapes change incompatibly
+ATTRIBUTION_SCHEMA_VERSION = 1
+
+#: the schema identifier stamped on every attribution record
+ATTRIBUTION_SCHEMA = f"repro.attribution/v{ATTRIBUTION_SCHEMA_VERSION}"
+
+
+def journey_record(journey: Journey) -> dict:
+    """Serialize one journey to its plain-dict artifact form."""
+    return {
+        "schema": ATTRIBUTION_SCHEMA,
+        "kind": "journey",
+        "jid": journey.jid,
+        "op": journey.op,
+        "addr": journey.addr,
+        "channel": journey.channel,
+        "scenario": journey.scenario,
+        "start_ps": journey.start_ps,
+        "end_ps": journey.end_ps,
+        "stages": [
+            {
+                "stage": v.stage,
+                "kind": v.kind,
+                "nested": v.nested,
+                "start_ps": v.start_ps,
+                "end_ps": v.end_ps,
+            }
+            for v in journey.stages
+        ],
+    }
+
+
+def attribution_meta(
+    name: str,
+    journeys: int,
+    dropped: int,
+    abandoned: int,
+    scenarios: List[str],
+    **extra,
+) -> dict:
+    record = {
+        "schema": ATTRIBUTION_SCHEMA,
+        "schema_version": ATTRIBUTION_SCHEMA_VERSION,
+        "kind": "meta",
+        "name": name,
+        "journeys": journeys,
+        "dropped": dropped,
+        "abandoned": abandoned,
+        "scenarios": sorted(scenarios),
+    }
+    record.update(extra)
+    return record
+
+
+def stage_summary_records(breakdown: LatencyBreakdown) -> List[dict]:
+    """One ``stage_summary`` record per (scenario, stage), plus one
+    ``end_to_end`` summary per scenario."""
+    out: List[dict] = []
+    for scenario in breakdown.scenarios():
+        e2e = breakdown.end_to_end(scenario)
+        out.append({
+            "schema": ATTRIBUTION_SCHEMA,
+            "kind": "end_to_end",
+            "scenario": scenario,
+            "journeys": breakdown.journey_count(scenario),
+            **{f"{k}_ps": v for k, v in e2e.items() if k != "count"},
+        })
+        for row in breakdown.stage_table(scenario):
+            fields = dict(row)
+            # the row's queue/service classification must not clobber the
+            # record-kind discriminator
+            fields["stage_kind"] = fields.pop("kind")
+            out.append({
+                "schema": ATTRIBUTION_SCHEMA,
+                "kind": "stage_summary",
+                "scenario": scenario,
+                **fields,
+            })
+    return out
+
+
+def session_attribution_records(session) -> List[dict]:
+    """The full record stream for one :class:`TraceSession`'s journeys."""
+    tracker = session.journeys
+    if tracker is None:
+        return [attribution_meta(session.name, 0, 0, 0, [], enabled=False)]
+    breakdown = LatencyBreakdown()
+    journeys = [journey_record(j) for j in tracker.completed]
+    breakdown.add_records(journeys)
+    records = [
+        attribution_meta(
+            session.name,
+            len(tracker.completed),
+            tracker.dropped,
+            tracker.active_count,
+            tracker.scenarios(),
+        )
+    ]
+    records.extend(journeys)
+    records.extend(stage_summary_records(breakdown))
+    return records
+
+
+def read_attribution(path: str) -> List[dict]:
+    """Load an attribution artifact (same JSONL framing as telemetry)."""
+    return read_jsonl(path)
+
+
+def journey_records(records: Iterable[dict]) -> List[dict]:
+    """The journey records of an artifact stream, in file order."""
+    return [r for r in records if r.get("kind") == "journey"]
+
+
+def merge_attribution(
+    sources: Iterable[Tuple[str, List[dict]]], name: str = "merged"
+) -> List[dict]:
+    """Merge per-source journey-record lists into one artifact stream.
+
+    ``sources`` is ``(label, journey_records)`` pairs — e.g. one per
+    campaign job.  Output is deterministic for a given set of sources:
+    sources sort by label, each journey gains a ``source`` field, and
+    summaries are recomputed over the union.
+    """
+    ordered: List[Tuple[str, List[dict]]] = sorted(sources, key=lambda s: s[0])
+    merged: List[dict] = []
+    scenarios: Dict[str, bool] = {}
+    for label, records in ordered:
+        for record in records:
+            if record.get("kind") not in (None, "journey"):
+                continue
+            tagged = dict(record)
+            tagged["kind"] = "journey"
+            tagged["source"] = label
+            merged.append(tagged)
+            scenarios[tagged.get("scenario", "")] = True
+    breakdown = LatencyBreakdown()
+    breakdown.add_records(merged)
+    out = [
+        attribution_meta(
+            name, len(merged), 0, 0, sorted(scenarios),
+            sources=[label for label, _ in ordered],
+        )
+    ]
+    out.extend(merged)
+    out.extend(stage_summary_records(breakdown))
+    return out
+
+
+def write_attribution(path: str, records: List[dict]) -> int:
+    """Write an attribution record stream; returns the record count."""
+    return write_jsonl(path, records)

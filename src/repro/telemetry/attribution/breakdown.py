@@ -1,0 +1,192 @@
+"""Fold journeys into per-stage latency tables and a critical path.
+
+:class:`LatencyBreakdown` consumes journey *records* (the plain-dict form
+that crosses artifact and process boundaries — see
+:func:`~repro.telemetry.attribution.artifact.journey_record`) and
+aggregates, per scenario:
+
+* an end-to-end histogram of journey totals;
+* one histogram per stage of per-journey stage time, where the ``buffer``
+  stage is reported **exclusive** of the nested memory-controller visits
+  (so the top-level stages tile the journey and sum to the total);
+* the residual (*unattributed*) time — zero by construction when every
+  stage hook fired, and the self-check that catches a missing hook.
+
+This reproduces the paper's Table 3 decomposition from first principles:
+the ConTutto-minus-Centaur latency delta falls out as the per-stage mean
+differences between the two scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics import Histogram
+from .journey import QUEUE_STAGES, STAGE_ORDER
+
+
+class LatencyBreakdown:
+    """Per-scenario, per-stage aggregation of journey records."""
+
+    def __init__(self):
+        self._stages: Dict[Tuple[str, str], Histogram] = {}
+        self._totals: Dict[str, Histogram] = {}
+        self._residuals: Dict[str, Histogram] = {}
+        self._counts: Dict[str, int] = {}
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add_record(self, record: dict) -> None:
+        """Fold one journey record (a plain dict) into the aggregates."""
+        if record.get("end_ps") is None:
+            return
+        scenario = record.get("scenario", "")
+        total = record["end_ps"] - record["start_ps"]
+        self._counts[scenario] = self._counts.get(scenario, 0) + 1
+        self._hist(self._totals, scenario).record(total)
+
+        top: Dict[str, int] = {}
+        nested: Dict[str, int] = {}
+        nested_total = 0
+        for visit in record.get("stages", []):
+            dur = visit["end_ps"] - visit["start_ps"]
+            if visit.get("nested"):
+                nested[visit["stage"]] = nested.get(visit["stage"], 0) + dur
+                nested_total += dur
+            else:
+                top[visit["stage"]] = top.get(visit["stage"], 0) + dur
+        # the buffer window contains the memory visits; report it exclusive
+        if "buffer" in top:
+            top["buffer"] = max(0, top["buffer"] - nested_total)
+        for stage, dur in top.items():
+            self._stage_hist(scenario, stage).record(dur)
+        for stage, dur in nested.items():
+            self._stage_hist(scenario, stage).record(dur)
+        residual = total - sum(top.values()) - nested_total
+        self._hist(self._residuals, scenario).record(residual)
+
+    def add_records(self, records) -> None:
+        for record in records:
+            if record.get("kind") == "journey" or "stages" in record:
+                self.add_record(record)
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _hist(store: Dict[str, Histogram], key: str) -> Histogram:
+        hist = store.get(key)
+        if hist is None:
+            hist = store[key] = Histogram(key)
+        return hist
+
+    def _stage_hist(self, scenario: str, stage: str) -> Histogram:
+        return self._hist(self._stages, (scenario, stage))  # type: ignore[arg-type]
+
+    @staticmethod
+    def stage_kind(stage: str) -> str:
+        return "queue" if stage in QUEUE_STAGES else "service"
+
+    # -- queries ------------------------------------------------------------
+
+    def scenarios(self) -> List[str]:
+        return sorted(self._counts)
+
+    def journey_count(self, scenario: str = "") -> int:
+        return self._counts.get(scenario, 0)
+
+    def stages(self, scenario: str) -> List[str]:
+        """Stages seen for a scenario, canonical order first."""
+        seen = {st for (sc, st) in self._stages if sc == scenario}
+        ordered = [s for s in STAGE_ORDER if s in seen]
+        return ordered + sorted(seen - set(STAGE_ORDER))
+
+    def end_to_end(self, scenario: str) -> Dict[str, float]:
+        """Summary (count/mean/min/max/percentiles) of journey totals, ps."""
+        return self._hist(self._totals, scenario).summary()
+
+    def residual(self, scenario: str) -> Dict[str, float]:
+        """Summary of per-journey unattributed time, ps."""
+        return self._hist(self._residuals, scenario).summary()
+
+    def stage_table(self, scenario: str) -> List[dict]:
+        """One row per stage: classification, stats, and mean share.
+
+        ``mean_ps`` is averaged over **all** journeys of the scenario (a
+        journey without the stage contributes zero), so the rows' means
+        sum to the end-to-end mean minus the residual; ``share`` is the
+        stage's fraction of total scenario time.
+        """
+        count = self.journey_count(scenario)
+        total_sum = self._hist(self._totals, scenario).total()
+        rows = []
+        for stage in self.stages(scenario):
+            hist = self._stage_hist(scenario, stage)
+            stats = hist.summary()
+            rows.append({
+                "stage": stage,
+                "kind": self.stage_kind(stage),
+                "count": hist.count,
+                "mean_ps": hist.total() / count if count else 0.0,
+                "p50_ps": stats["p50"],
+                "p95_ps": stats["p95"],
+                "p99_ps": stats["p99"],
+                "max_ps": stats["max"],
+                "share": hist.total() / total_sum if total_sum else 0.0,
+            })
+        return rows
+
+    def critical_path(self, scenario: str) -> List[dict]:
+        """Stage rows ordered by mean contribution, largest first."""
+        return sorted(
+            self.stage_table(scenario), key=lambda r: r["mean_ps"], reverse=True
+        )
+
+    def delta(self, scenario: str, baseline: str) -> List[dict]:
+        """Per-stage mean difference ``scenario - baseline`` (ps)."""
+        base = {r["stage"]: r["mean_ps"] for r in self.stage_table(baseline)}
+        other = {r["stage"]: r["mean_ps"] for r in self.stage_table(scenario)}
+        stages = [s for s in STAGE_ORDER if s in base or s in other]
+        stages += sorted((set(base) | set(other)) - set(STAGE_ORDER))
+        return [
+            {
+                "stage": stage,
+                "mean_ps": other.get(stage, 0.0),
+                "baseline_ps": base.get(stage, 0.0),
+                "delta_ps": other.get(stage, 0.0) - base.get(stage, 0.0),
+            }
+            for stage in stages
+        ]
+
+    # -- self-check ---------------------------------------------------------
+
+    def check(self, tolerance: float = 0.01) -> List[str]:
+        """Consistency warnings; empty when the breakdown is trustworthy.
+
+        The load-bearing check is the residual: per-scenario mean
+        unattributed time must stay within ``tolerance`` of the mean
+        end-to-end latency, or some stage hook did not fire.
+        """
+        warnings: List[str] = []
+        if not self._counts:
+            warnings.append("no journeys: attribution was disabled or nothing ran")
+        for scenario in self.scenarios():
+            total_mean = self._hist(self._totals, scenario).mean()
+            residual_mean = abs(self._hist(self._residuals, scenario).mean())
+            if total_mean > 0 and residual_mean > tolerance * total_mean:
+                warnings.append(
+                    f"scenario {scenario or '(unlabelled)'!r}: unattributed time "
+                    f"{residual_mean:.0f}ps is {residual_mean / total_mean:.1%} of "
+                    f"the {total_mean:.0f}ps mean latency (tolerance "
+                    f"{tolerance:.0%}) — a stage hook is missing"
+                )
+            for stage in self.stages(scenario):
+                if self._stage_hist(scenario, stage).min() < 0:
+                    warnings.append(
+                        f"scenario {scenario!r}: stage {stage!r} has a negative "
+                        "duration — timestamps are inconsistent"
+                    )
+        return warnings
+
+    def scenario_mean_ns(self, scenario: str) -> float:
+        """Convenience: mean end-to-end journey latency in nanoseconds."""
+        return self._hist(self._totals, scenario).mean() / 1_000.0

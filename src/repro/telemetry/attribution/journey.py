@@ -1,0 +1,245 @@
+"""Request journeys: per-transaction latency attribution.
+
+A *journey* follows one memory transaction from the moment the host
+memory controller decides to issue it until the DMI *done* retires its
+tag, stamping every stage boundary on the way:
+
+    host.tag_wait -> dmi.down -> buffer -> dmi.up
+                                   |
+                                   +-- memory.queue / memory.service
+                                       (nested controller visits)
+
+Top-level stages partition the journey exactly — each one runs from the
+journey's *cursor* (the end of the previous stage) to the timestamp the
+recording site supplies — so their durations always sum to the end-to-end
+latency.  Memory-controller visits are recorded as *nested* spans inside
+the buffer window with explicit start/end stamps; the breakdown layer
+subtracts them from the buffer stage to get the buffer's exclusive time.
+
+Every visit is classified **queueing** (time spent waiting for a resource:
+a free command tag, a controller queue slot) or **service** (time the
+transaction is actually being worked on).  The classification is fixed at
+the recording site, not inferred afterwards.
+
+Journey ids cannot ride the DMI wire — frames pack to raw bytes — so the
+host side *binds* ``(channel name, tag)`` to the journey id at issue and
+the buffer side looks the binding up when it reassembles the command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: visit classification: waiting for a resource vs being serviced
+QUEUE = "queue"
+SERVICE = "service"
+
+#: default cap on completed journeys held in memory; beyond it new
+#: journeys are counted but not recorded (a campaign job holds the full
+#: set of a Table-3 run comfortably; this bounds pathological loops)
+DEFAULT_MAX_JOURNEYS = 250_000
+
+#: canonical top-level stage order (nested memory stages indented under
+#: the buffer window in reports)
+STAGE_ORDER = (
+    "host.tag_wait",
+    "dmi.down",
+    "buffer",
+    "memory.queue",
+    "memory.service",
+    "dmi.up",
+)
+
+#: which canonical stages are queueing time
+QUEUE_STAGES = frozenset({"host.tag_wait", "memory.queue"})
+
+
+@dataclass
+class StageVisit:
+    """One stage's occupancy of a journey: a bounded, classified window."""
+
+    stage: str
+    start_ps: int
+    end_ps: int
+    kind: str = SERVICE            # QUEUE | SERVICE
+    #: nested visits (memory controller) overlap the buffer stage rather
+    #: than advancing the journey cursor
+    nested: bool = False
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+@dataclass
+class Journey:
+    """One transaction's life: identity, scenario, and its stage visits."""
+
+    jid: int
+    op: str
+    addr: int
+    channel: str
+    scenario: str
+    start_ps: int
+    end_ps: Optional[int] = None
+    stages: List[StageVisit] = field(default_factory=list)
+    #: where the next top-level stage starts (the end of the last one)
+    cursor_ps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cursor_ps == 0:
+            self.cursor_ps = self.start_ps
+
+    @property
+    def complete(self) -> bool:
+        return self.end_ps is not None
+
+    @property
+    def total_ps(self) -> int:
+        return (self.end_ps or self.cursor_ps) - self.start_ps
+
+    def attributed_ps(self) -> int:
+        """Sum of top-level stage durations (nested visits excluded)."""
+        return sum(v.duration_ps for v in self.stages if not v.nested)
+
+    def unattributed_ps(self) -> int:
+        """End-to-end time not covered by any top-level stage."""
+        return self.total_ps - self.attributed_ps()
+
+
+class JourneyTracker:
+    """Creates, stamps, and completes journeys for one trace session."""
+
+    def __init__(self, max_journeys: int = DEFAULT_MAX_JOURNEYS):
+        self.max_journeys = max_journeys
+        self.scenario = ""
+        self.completed: List[Journey] = []
+        #: journeys refused because the completed store hit ``max_journeys``
+        self.dropped = 0
+        self._active: Dict[int, Journey] = {}
+        self._bindings: Dict[Tuple[str, int], int] = {}
+        self._next_jid = 1
+
+    # -- scenario labelling -------------------------------------------------
+
+    def set_scenario(self, label: str) -> None:
+        """Stamp journeys begun from now on with ``label`` (e.g. a Table 3
+        configuration name); grouping key for the breakdown reports."""
+        self.scenario = label
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self, op: str, addr: int, channel: str, now_ps: int) -> Optional[int]:
+        """Open a journey; returns its id, or None when over the cap."""
+        if len(self.completed) >= self.max_journeys:
+            self.dropped += 1
+            return None
+        jid = self._next_jid
+        self._next_jid += 1
+        self._active[jid] = Journey(jid, op, addr, channel, self.scenario, now_ps)
+        return jid
+
+    def finish(self, jid: int, now_ps: int) -> Optional[Journey]:
+        """Close a journey; implicitly closes the trailing stage gap."""
+        journey = self._active.pop(jid, None)
+        if journey is None:
+            return None
+        journey.end_ps = now_ps
+        self.completed.append(journey)
+        return journey
+
+    # -- stage recording ----------------------------------------------------
+
+    def stage_to(self, jid: int, stage: str, end_ps: int, kind: str = SERVICE) -> None:
+        """Record the top-level stage from the journey cursor to ``end_ps``.
+
+        Zero-length stages (the transaction did not wait / the boundary
+        coincides) are skipped rather than recorded, but the cursor always
+        advances, so the partition property holds regardless.
+        """
+        journey = self._active.get(jid)
+        if journey is None:
+            return
+        if end_ps > journey.cursor_ps:
+            journey.stages.append(
+                StageVisit(stage, journey.cursor_ps, end_ps, kind)
+            )
+            journey.cursor_ps = end_ps
+
+    def stage_span(
+        self, jid: int, stage: str, start_ps: int, end_ps: int, kind: str = SERVICE
+    ) -> None:
+        """Record a nested visit with explicit bounds (cursor untouched)."""
+        journey = self._active.get(jid)
+        if journey is None or end_ps <= start_ps:
+            return
+        journey.stages.append(StageVisit(stage, start_ps, end_ps, kind, nested=True))
+
+    # -- wire-boundary correlation ------------------------------------------
+
+    def bind(self, channel: str, tag: int, jid: int) -> None:
+        """Associate a (channel, tag) pair with a journey for the buffer
+        side to look up — journey ids never cross the serialized wire."""
+        self._bindings[(channel, tag)] = jid
+
+    def bound(self, channel: str, tag: int) -> Optional[int]:
+        return self._bindings.get((channel, tag))
+
+    def unbind(self, channel: str, tag: int) -> None:
+        self._bindings.pop((channel, tag), None)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Journeys begun but not finished (abandoned ones linger here —
+        e.g. commands lost to a channel reset)."""
+        return len(self._active)
+
+    def scenarios(self) -> List[str]:
+        return sorted({j.scenario for j in self.completed})
+
+
+def journey_chrome_extras(journeys: List[Journey]) -> List[dict]:
+    """Chrome trace extras for journeys: stage spans linked by flow events.
+
+    Every stage visit becomes a complete span on the ``journey`` track; a
+    flow chain (``ph`` s/t/f with ``id`` = journey id) threads the visits
+    so the viewer draws arrows from stage to stage of one transaction.
+    """
+    out: List[dict] = []
+    for journey in journeys:
+        if not journey.stages:
+            continue
+        flow_name = f"journey:{journey.op}"
+        ordered = sorted(journey.stages, key=lambda v: (v.start_ps, v.end_ps))
+        last = len(ordered) - 1
+        for i, visit in enumerate(ordered):
+            args = {
+                "jid": journey.jid,
+                "kind": visit.kind,
+                "op": journey.op,
+            }
+            if journey.scenario:
+                args["scenario"] = journey.scenario
+            out.append({
+                "name": visit.stage,
+                "cat": "journey",
+                "ph": "X",
+                "ts_ps": visit.start_ps,
+                "dur_ps": visit.duration_ps,
+                "args": args,
+            })
+            flow_ph = "s" if i == 0 else ("f" if i == last else "t")
+            flow = {
+                "name": flow_name,
+                "cat": "journey",
+                "ph": flow_ph,
+                "ts_ps": visit.start_ps,
+                "id": journey.jid,
+            }
+            if flow_ph == "f":
+                flow["bp"] = "e"  # bind the flow end to the enclosing slice
+            out.append(flow)
+    return out

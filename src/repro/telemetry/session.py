@@ -26,7 +26,16 @@ from typing import Dict, List, Optional
 
 from . import probe
 from .artifact import snapshot_record, write_jsonl
-from .chrome import to_chrome_events, write_chrome_trace
+from .attribution import (
+    DEFAULT_MAX_JOURNEYS,
+    DEFAULT_OCCUPANCY_PERIOD_PS,
+    JourneyTracker,
+    LatencyBreakdown,
+    OccupancySampler,
+    journey_chrome_extras,
+    session_attribution_records,
+)
+from .chrome import to_chrome_events, truncation_marker, write_chrome_trace
 from .registry import MetricsRegistry
 
 #: default cap on stored trace events; beyond it events are counted but
@@ -42,6 +51,7 @@ CORE_COUNTERS = (
     "dmi.replays",
     "buffer.cache.hits",
     "buffer.cache.misses",
+    "telemetry.dropped_events",
 )
 
 
@@ -66,6 +76,9 @@ class TraceSession:
         kernel_events: bool = False,
         max_events: int = DEFAULT_MAX_EVENTS,
         registry: Optional[MetricsRegistry] = None,
+        journeys: bool = True,
+        max_journeys: int = DEFAULT_MAX_JOURNEYS,
+        occupancy_period_ps: Optional[int] = DEFAULT_OCCUPANCY_PERIOD_PS,
     ):
         self.name = name
         #: when True, the simulator kernel emits one instant per dispatched
@@ -78,6 +91,16 @@ class TraceSession:
         self.events: List[TraceEvent] = []
         self.dropped_events = 0
         self.snapshots: List[dict] = []
+        #: request-journey tracker (None when attribution is disabled);
+        #: journeys are metric-like — small, bounded — so they stay on even
+        #: for span-capped sessions (the campaign workers run max_events=0)
+        self.journeys: Optional[JourneyTracker] = (
+            JourneyTracker(max_journeys) if journeys else None
+        )
+        #: arrival-driven queue-depth sampler (None disables sampling)
+        self.occupancy: Optional[OccupancySampler] = (
+            OccupancySampler(occupancy_period_ps) if occupancy_period_ps else None
+        )
         self._closed = False
 
     # -- context management -------------------------------------------------
@@ -105,7 +128,7 @@ class TraceSession:
     ) -> None:
         """Record a bounded span [start_ps, end_ps] in simulated time."""
         if len(self.events) >= self.max_events:
-            self.dropped_events += 1
+            self._drop_event()
             return
         self.events.append(
             TraceEvent("X", category, name, start_ps, max(0, end_ps - start_ps), args)
@@ -120,9 +143,16 @@ class TraceSession:
     ) -> None:
         """Record a point event at ``ts_ps``."""
         if len(self.events) >= self.max_events:
-            self.dropped_events += 1
+            self._drop_event()
             return
         self.events.append(TraceEvent("i", category, name, ts_ps, None, args))
+
+    def _drop_event(self) -> None:
+        """Count an over-cap event: locally for the exporter's truncation
+        marker, and in the registry so the loss survives into snapshots
+        (and campaign merges) even when the events themselves are gone."""
+        self.dropped_events += 1
+        self.registry.counter("telemetry.dropped_events").add()
 
     # -- metric shortcuts ---------------------------------------------------
 
@@ -159,13 +189,30 @@ class TraceSession:
 
     # -- export -------------------------------------------------------------
 
+    def _chrome_extras(self) -> List[dict]:
+        """Journey spans/flow links, plus the truncation marker when the
+        event cap clipped the trace."""
+        extras: List[dict] = []
+        if self.journeys is not None:
+            extras.extend(journey_chrome_extras(self.journeys.completed))
+        if self.dropped_events:
+            last_ps = max(
+                [e.ts_ps + (e.dur_ps or 0) for e in self.events]
+                + [x["ts_ps"] + (x.get("dur_ps") or 0) for x in extras]
+                + [0]
+            )
+            extras.append(
+                truncation_marker(self.dropped_events, self.max_events, last_ps)
+            )
+        return extras
+
     def chrome_events(self) -> List[dict]:
         """Chrome ``trace_event`` dicts (sorted by timestamp)."""
-        return to_chrome_events(self.events)
+        return to_chrome_events(self.events, self._chrome_extras())
 
     def write_chrome(self, path: str) -> int:
         """Write the Chrome trace JSON; returns the number of events."""
-        return write_chrome_trace(path, self.events)
+        return write_chrome_trace(path, self.events, self._chrome_extras())
 
     def write_metrics(self, path: str, extra_records: Optional[List[dict]] = None) -> int:
         """Write the JSONL metrics artifact; returns the number of records.
@@ -180,3 +227,20 @@ class TraceSession:
                 snapshot_record(snap["label"], snap["ts_ps"], snap["metrics"])
             )
         return write_jsonl(path, records)
+
+    # -- attribution --------------------------------------------------------
+
+    def breakdown(self) -> LatencyBreakdown:
+        """Fold this session's completed journeys into a breakdown."""
+        from .attribution import journey_record
+
+        folded = LatencyBreakdown()
+        if self.journeys is not None:
+            for journey in self.journeys.completed:
+                folded.add_record(journey_record(journey))
+        return folded
+
+    def write_attribution(self, path: str) -> int:
+        """Write the ``repro.attribution/v1`` journey artifact; returns the
+        record count (a meta record is written even with journeys off)."""
+        return write_jsonl(path, session_attribution_records(self))

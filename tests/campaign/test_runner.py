@@ -196,6 +196,29 @@ class TestTelemetryMerge:
         total_frames = sum(s["metrics"]["dmi.frames_sent"] for s in per_job)
         assert merged["dmi.frames_sent"] == total_frames
 
+    def test_attribution_merges_deterministically_across_workers(self, tmp_path):
+        # two journey-producing jobs; worker count and completion order
+        # must not leak into the merged attribution artifact
+        matrix = ScenarioMatrix()
+        matrix.add("table3", samples=[2, 3])
+        jobs = matrix.expand()
+        serial = CampaignRunner(jobs, workers=1).run()
+        parallel = CampaignRunner(jobs, workers=2).run()
+        a, b = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+        serial.write_attribution(str(a))
+        parallel.write_attribution(str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+        records = read_jsonl(str(a))
+        meta = records[0]
+        assert meta["kind"] == "meta"
+        assert meta["sources"] == sorted(f"job:{j.job_id}" for j in jobs)
+        journeys = [r for r in records if r["kind"] == "journey"]
+        # 6 configurations x (2 + 3) samples, each tagged with its job
+        assert len(journeys) == meta["journeys"] == 30
+        assert {j["source"] for j in journeys} == set(meta["sources"])
+        assert any(r["kind"] == "stage_summary" for r in records)
+
     def test_merge_snapshot_rules(self):
         merged = MetricsRegistry.merge_snapshots([
             {"a.count": 2, "a.min": 1.0, "a.max": 5.0, "a.mean": 3.0, "c": 7},

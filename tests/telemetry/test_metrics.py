@@ -1,0 +1,104 @@
+"""Histogram percentile/summary edge cases.
+
+PR 1 documented the metric primitives as *lenient*: every summary is
+well-defined on an empty metric (zeros, never ``ValueError`` or ``nan``),
+and percentiles use the nearest-rank method on exact samples.  These
+tests pin that contract on the degenerate shapes — empty, one sample,
+all-equal samples — that idle components and single-shot experiments
+actually produce.
+"""
+
+import math
+
+import pytest
+
+from repro.telemetry import Histogram
+
+
+class TestEmptyHistogram:
+    def test_summary_is_zeros_not_errors(self):
+        hist = Histogram("idle")
+        summary = hist.summary()
+        assert summary == {
+            "count": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        assert not any(math.isnan(v) for v in summary.values())
+
+    def test_percentiles_are_zero(self):
+        hist = Histogram("idle")
+        assert hist.percentiles() == {"p50": 0, "p95": 0, "p99": 0}
+        assert hist.percentile(0) == 0
+        assert hist.percentile(100) == 0
+
+    def test_aggregates_are_zero(self):
+        hist = Histogram("idle")
+        assert hist.count == 0
+        assert hist.mean() == 0.0
+        assert hist.min() == 0
+        assert hist.max() == 0
+        assert hist.total() == 0
+
+
+class TestSingleSample:
+    def test_every_percentile_is_the_sample(self):
+        hist = Histogram("one")
+        hist.record(42)
+        # nearest rank: any pct in (0, 100] lands on the only sample
+        for pct in (0, 1, 50, 95, 99, 100):
+            assert hist.percentile(pct) == 42
+        assert hist.percentiles() == {"p50": 42, "p95": 42, "p99": 42}
+
+    def test_summary_collapses_to_the_sample(self):
+        hist = Histogram("one")
+        hist.record(42)
+        summary = hist.summary()
+        assert summary["count"] == 1.0
+        assert summary["mean"] == summary["min"] == summary["max"] == 42.0
+
+
+class TestAllEqualSamples:
+    def test_percentiles_and_spread(self):
+        hist = Histogram("flat")
+        for _ in range(10):
+            hist.record(7)
+        assert hist.percentiles() == {"p50": 7, "p95": 7, "p99": 7}
+        summary = hist.summary()
+        assert summary["mean"] == 7.0
+        assert summary["min"] == summary["max"] == 7.0
+        assert summary["count"] == 10.0
+
+
+class TestPercentileValidation:
+    def test_out_of_range_pct_rejected(self):
+        hist = Histogram("h")
+        hist.record(1)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+        with pytest.raises(ValueError):
+            hist.percentiles([50, 200])
+
+    def test_out_of_range_rejected_even_when_empty(self):
+        # validation must not be short-circuited by the empty-histogram path
+        with pytest.raises(ValueError):
+            Histogram("h").percentiles([-5])
+
+    def test_fractional_percentile_key(self):
+        hist = Histogram("h")
+        hist.record(3)
+        assert hist.percentiles([99.9]) == {"p99.9": 3}
+
+
+class TestNearestRank:
+    def test_known_ranks(self):
+        hist = Histogram("h")
+        for v in (10, 20, 30, 40):
+            hist.record(v)
+        # nearest rank over 4 samples: ceil(p/100*4) - 1
+        assert hist.percentile(0) == 10
+        assert hist.percentile(25) == 10
+        assert hist.percentile(50) == 20
+        assert hist.percentile(75) == 30
+        assert hist.percentile(100) == 40

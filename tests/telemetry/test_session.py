@@ -65,6 +65,46 @@ class TestEventCapture:
         assert s.dropped_events == 3
 
 
+class TestTruncation:
+    """Hitting the event cap must stay visible: in metrics and in the trace."""
+
+    def test_dropped_events_surface_in_metrics(self):
+        # the events are gone, but the loss must survive into snapshots
+        # (and through campaign merges, which only see metrics)
+        with TraceSession("t", max_events=1) as s:
+            s.complete("dmi", "kept", 0, 10)
+            s.complete("dmi", "dropped1", 10, 20)
+            s.instant("dmi", "dropped2", 30)
+        snap = s.snapshots[-1]["metrics"]
+        assert snap["telemetry.dropped_events"] == 2
+        assert s.dropped_events == 2
+
+    def test_dropped_events_counter_preseeded_at_zero(self):
+        with TraceSession("t") as s:
+            s.complete("dmi", "a", 0, 1)
+        assert s.snapshots[-1]["metrics"]["telemetry.dropped_events"] == 0
+
+    def test_truncation_marker_in_chrome_export(self):
+        with TraceSession("t", max_events=2) as s:
+            s.complete("dmi", "a", 0, 1_000)
+            s.complete("dmi", "b", 500, 2_000)
+            s.instant("dmi", "clipped", 5_000)
+        events = s.chrome_events()
+        marker = events[-1]
+        assert marker["name"] == "telemetry.truncated"
+        assert marker["ph"] == "i"
+        assert marker["cat"] == "telemetry"
+        assert marker["args"] == {"dropped_events": 1, "max_events": 2}
+        # chronologically last, so no reader can miss that spans are gone
+        assert marker["ts"] == max(e["ts"] for e in events)
+
+    def test_no_marker_without_drops(self):
+        with TraceSession("t") as s:
+            s.complete("dmi", "a", 0, 1_000)
+        names = [e["name"] for e in s.chrome_events()]
+        assert "telemetry.truncated" not in names
+
+
 class TestChromeExport:
     def test_schema(self, tmp_path):
         path = tmp_path / "trace.json"

@@ -92,6 +92,29 @@ def stage_table(breakdown: LatencyBreakdown, scenario: str) -> ResultTable:
     return table
 
 
+def fault_table(breakdown: LatencyBreakdown, scenario: str) -> ResultTable:
+    """Clean vs fault-affected end-to-end percentiles for one scenario."""
+    clean, fault = breakdown.fault_split(scenario)
+    table = ResultTable(
+        f"Fault split: {scenario} "
+        f"({breakdown.fault_count(scenario)} of "
+        f"{breakdown.journey_count(scenario)} journeys fault-affected)",
+        ["Population", "Count", "Mean (ns)", "p50 (ns)", "p95 (ns)",
+         "p99 (ns)", "Max (ns)"],
+    )
+    for label, stats in (("clean", clean), ("fault-affected", fault)):
+        table.add_row(
+            label, int(stats["count"]), stats["mean"] / 1000,
+            stats["p50"] / 1000, stats["p95"] / 1000, stats["p99"] / 1000,
+            stats["max"] / 1000,
+        )
+    table.add_note(
+        f"fault-affected mean delta: "
+        f"{(fault['mean'] - clean['mean']) / 1000:+.2f} ns"
+    )
+    return table
+
+
 def delta_table(breakdown: LatencyBreakdown, scenario: str, baseline: str) -> ResultTable:
     diff = breakdown.scenario_mean_ns(scenario) - breakdown.scenario_mean_ns(baseline)
     table = ResultTable(
@@ -163,6 +186,9 @@ def main(argv=None) -> int:
         for scenario in scenarios:
             print(stage_table(breakdown, scenario).to_markdown())
             print()
+            if breakdown.fault_split(scenario) is not None:
+                print(fault_table(breakdown, scenario).to_markdown())
+                print()
         for scenario in scenarios:
             if scenario != baseline:
                 print(delta_table(breakdown, scenario, baseline).to_markdown())

@@ -43,8 +43,10 @@ from repro.campaign import (
     CampaignRunner,
     ResultCache,
     ScenarioMatrix,
+    apply_fault_plan,
     experiment_names,
 )
+from repro.faults import FaultPlan
 
 
 def load_matrix(path: str) -> ScenarioMatrix:
@@ -94,6 +96,11 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="replay completed jobs from the existing manifest + cache",
     )
     parser.add_argument(
+        "--faults", default=None, metavar="FILE",
+        help="fault plan JSON injected into fault-capable experiments "
+             "(see docs/faults.md)",
+    )
+    parser.add_argument(
         "--timeout", type=float, default=None, metavar="S",
         help="per-job wall-clock limit in seconds",
     )
@@ -116,6 +123,10 @@ def main(argv=None) -> int:
         only = [ALIASES.get(name, name) for name in args.only] if args.only else None
         matrix = ScenarioMatrix.paper(only=only, seed=args.seed)
     jobs = matrix.expand()
+    if args.faults:
+        with open(args.faults, "r", encoding="utf-8") as fh:
+            plan = FaultPlan.from_json(fh.read())
+        jobs = apply_fault_plan(jobs, plan.to_json())
     if not jobs:
         print("matrix expanded to zero jobs", file=sys.stderr)
         return 2

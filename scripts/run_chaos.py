@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Run fault experiments and print a resilience report.
+
+    python scripts/run_chaos.py                       # both fault drills
+    python scripts/run_chaos.py ber_sweep --seed 3
+    python scripts/run_chaos.py ber_sweep --plan plan.json --out /tmp/chaos
+
+Each named experiment runs under telemetry; afterwards the CLI prints the
+experiment's table, then a resilience report reconstructed from the
+``faults.*`` counters — faults injected, recoveries, failures, LOST
+outcomes — with clean-vs-fault-affected latency deltas from the journey
+attribution.  ``--plan`` layers extra fault-plan entries (docs/faults.md)
+on top of the experiment's own fault schedule.  With ``--out`` the
+metrics and attribution artifacts are written for offline analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.campaign import experiment_names, get_experiment
+from repro.errors import ConfigurationError, ReproError
+from repro.faults import FaultPlan, report_from_snapshot
+from repro.telemetry import TraceSession, meta_record, result_record
+from repro.telemetry.attribution import LatencyBreakdown, journey_record
+
+FAULT_EXPERIMENTS = [
+    name for name in experiment_names()
+    if get_experiment(name).supports_faults
+]
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "experiments", nargs="*", metavar="EXPERIMENT",
+        help=f"fault experiments to run (default: all of "
+             f"{', '.join(FAULT_EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="extra fault-plan JSON merged into each experiment's own plan",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--samples", type=int, default=None,
+        help="override the experiment's size knob",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write metrics.jsonl / attribution.jsonl per experiment",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    names = args.experiments or FAULT_EXPERIMENTS
+    unknown = [n for n in names if n not in FAULT_EXPERIMENTS]
+    if unknown:
+        print(f"error: not fault experiments: {', '.join(unknown)} "
+              f"(known: {', '.join(FAULT_EXPERIMENTS)})", file=sys.stderr)
+        return 2
+    plan_json = None
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            plan_json = FaultPlan.from_json(fh.read()).to_json()
+
+    failures = 0
+    for name in names:
+        spec = get_experiment(name)
+        kwargs = dict(spec.defaults)
+        if args.samples is not None and kwargs:
+            kwargs[next(iter(kwargs))] = args.samples
+        kwargs["seed"] = args.seed
+        if plan_json is not None:
+            kwargs["faults"] = plan_json
+
+        print(f"=== {name} ===")
+        try:
+            with TraceSession(f"chaos:{name}", max_events=0) as session:
+                result = spec.runner(**kwargs)
+        except ReproError as exc:
+            print(f"error: {name} failed: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        tables = list(result) if isinstance(result, tuple) else [result]
+        for table in tables:
+            print(table.to_markdown())
+            print()
+
+        snapshot = session.registry.snapshot()
+        breakdown = LatencyBreakdown()
+        journeys = session.journeys
+        if journeys is not None:
+            breakdown.add_records(journey_record(j) for j in journeys.completed)
+        report = report_from_snapshot(snapshot, plan_name=name)
+        if report is None:
+            print("no faults were injected (empty plan or all targets skipped)")
+        else:
+            print(report.render(breakdown))
+        print()
+
+        if args.out:
+            out_dir = Path(args.out) / name
+            out_dir.mkdir(parents=True, exist_ok=True)
+            session.write_metrics(
+                out_dir / "metrics.jsonl",
+                extra_records=[meta_record(name, kwargs)]
+                + [result_record(t) for t in tables],
+            )
+            session.write_attribution(out_dir / "attribution.jsonl")
+            print(f"artifacts: {out_dir}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        sys.exit(2)

@@ -24,6 +24,8 @@ See ``examples/`` and ``benchmarks/`` for the paper's experiments.
 """
 
 from .campaign import CampaignJob, CampaignRunner, ResultCache, ScenarioMatrix
+from .faults import FaultController, FaultPlan, FaultSpec, ResilienceReport
+from .faults.experiments import run_ber_sweep, run_nvdimm_drill
 from .core import (
     CardSpec,
     ContuttoSystem,
@@ -46,14 +48,20 @@ __all__ = [
     "CampaignRunner",
     "CardSpec",
     "ContuttoSystem",
+    "FaultController",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilienceReport",
     "ResultCache",
     "ResultTable",
     "ScenarioMatrix",
     "__version__",
+    "run_ber_sweep",
     "run_fig6",
     "run_fig7",
     "run_fig8",
     "run_fio_matrix",
+    "run_nvdimm_drill",
     "run_table1",
     "run_table2",
     "run_table3",

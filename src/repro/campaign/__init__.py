@@ -27,11 +27,17 @@ from .cache import ResultCache, code_fingerprint, job_key
 from .manifest import (
     ManifestWriter,
     campaign_record,
+    canonical_manifest,
     completed_job_ids,
     job_record,
     read_manifest,
 )
-from .matrix import CampaignJob, ScenarioMatrix, canonical_kwargs
+from .matrix import (
+    CampaignJob,
+    ScenarioMatrix,
+    apply_fault_plan,
+    canonical_kwargs,
+)
 from .registry import ALIASES, ExperimentSpec, experiment_names, get_experiment
 from .runner import CampaignReport, CampaignRunner, JobOutcome
 from .worker import execute_job, run_experiment, tables_of
@@ -46,8 +52,10 @@ __all__ = [
     "ManifestWriter",
     "ResultCache",
     "ScenarioMatrix",
+    "apply_fault_plan",
     "campaign_record",
     "canonical_kwargs",
+    "canonical_manifest",
     "code_fingerprint",
     "completed_job_ids",
     "execute_job",

@@ -115,6 +115,33 @@ def read_manifest(path: str) -> List[dict]:
     return records
 
 
+def canonical_manifest(records: List[dict]) -> List[dict]:
+    """The deterministic core of a manifest: what a reproducible campaign
+    must agree on across runs and worker counts.
+
+    Keeps the campaign header and one record per job (latest wins),
+    sorted by job_id, with the nondeterministic fields — wall-clock
+    ``duration_s``, retry ``attempts``, ``source`` (cache vs run), and
+    failure tracebacks — stripped.  Two campaigns of the same matrix,
+    plan, and seed produce equal canonical manifests regardless of
+    ``--jobs``, caching, or scheduling order.
+    """
+    header: Optional[dict] = None
+    jobs: Dict[str, dict] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "campaign" and header is None:
+            header = dict(record)
+        elif kind == "job":
+            cleaned = {
+                k: v for k, v in record.items()
+                if k not in ("duration_s", "attempts", "source", "traceback")
+            }
+            jobs[record.get("job_id", "")] = cleaned
+    out = [header] if header is not None else []
+    return out + [jobs[jid] for jid in sorted(jobs)]
+
+
 def completed_job_ids(records: List[dict]) -> Dict[str, dict]:
     """Map job_id -> latest ``status="ok"`` record (later records win)."""
     done: Dict[str, dict] = {}

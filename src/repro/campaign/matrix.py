@@ -60,7 +60,13 @@ class CampaignJob:
 
     @staticmethod
     def make(experiment: str, kwargs: Dict[str, object], seed: int) -> "CampaignJob":
-        return CampaignJob(experiment, tuple(sorted(kwargs.items())), seed)
+        # JSON matrices deliver list values (e.g. a rates axis); freeze
+        # them so the job stays hashable and its identity canonical
+        frozen = {
+            k: tuple(v) if isinstance(v, list) else v
+            for k, v in kwargs.items()
+        }
+        return CampaignJob(experiment, tuple(sorted(frozen.items())), seed)
 
 
 @dataclass
@@ -115,8 +121,14 @@ class ScenarioMatrix:
         matrix = cls(base_seed=seed)
         selected = set(only) if only else None
         for name in experiment_names():
-            if selected is None or name in selected:
-                matrix.add(name, seed=seed)
+            if selected is None:
+                # non-paper experiments (fault drills) run only when named
+                # explicitly, keeping the paper campaign's output stable
+                if not get_experiment(name).paper:
+                    continue
+            elif name not in selected:
+                continue
+            matrix.add(name, seed=seed)
         return matrix
 
     # -- expansion ----------------------------------------------------------
@@ -149,3 +161,22 @@ class ScenarioMatrix:
 
     def __len__(self) -> int:
         return len(self.expand())
+
+
+def apply_fault_plan(
+    jobs: Sequence[CampaignJob], plan_json: str
+) -> List[CampaignJob]:
+    """Thread a canonical fault-plan JSON into every fault-capable job.
+
+    The plan rides in job kwargs as a string (hashable, cache-key and
+    seed-derivation stable); experiments that don't support faults are
+    left untouched.
+    """
+    out: List[CampaignJob] = []
+    for job in jobs:
+        if get_experiment(job.experiment).supports_faults:
+            kwargs = dict(job.kwargs_dict)
+            kwargs["faults"] = plan_json
+            job = CampaignJob.make(job.experiment, kwargs, job.seed)
+        out.append(job)
+    return out

@@ -31,6 +31,7 @@ from ..core.experiment import (
     run_table5,
 )
 from ..errors import ConfigurationError
+from ..faults.experiments import run_ber_sweep, run_nvdimm_drill
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,13 @@ class ExperimentSpec:
     #: hidden specs (self-test fixtures) are excluded from CLIs and
     #: from the paper scenario matrix
     hidden: bool = False
+    #: part of the paper reproduction set (``ScenarioMatrix.paper``);
+    #: fault/resilience experiments opt out so the paper campaign's
+    #: byte-identical artifacts stay stable
+    paper: bool = True
+    #: accepts a ``faults=`` kwarg (a canonical plan JSON string) —
+    #: ``run_campaign.py --faults`` only threads plans into these
+    supports_faults: bool = False
 
 
 #: registration order mirrors EXPERIMENTS.md section order
@@ -56,6 +64,11 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec("table4", run_table4, {"writes": 24}),
     ExperimentSpec("fio", run_fio_matrix, {"ios": 32}),
     ExperimentSpec("table5", run_table5, {"size_mib": 16}),
+    # fault & resilience experiments (docs/faults.md)
+    ExperimentSpec("ber_sweep", run_ber_sweep, {"samples": 8},
+                   paper=False, supports_faults=True),
+    ExperimentSpec("nvdimm_drill", run_nvdimm_drill, {"lines": 16},
+                   paper=False, supports_faults=True),
 ]
 
 #: aliases: the fio matrix renders both Figure 9 and Figure 10

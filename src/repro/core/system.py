@@ -66,6 +66,9 @@ class CardSpec:
     timing: FpgaTimingConfig = SHIPPING_TIMING
     #: SEC-DED ECC on the DRAM DIMMs (DRAM only)
     ecc: bool = False
+    #: ConTutto-only: the Section 3.3 freeze workaround (retransmit while
+    #: preparing replay); disabling it makes slow replays fail the channel
+    freeze: bool = True
 
     def __post_init__(self) -> None:
         if self.kind not in ("centaur", "contutto"):
@@ -146,7 +149,8 @@ class ContuttoSystem:
         ]
         buffer = ConTuttoBuffer(
             sim, devices, timing=spec.timing, knob_position=spec.knob_position,
-            inline_accel=spec.inline_accel, name=f"contutto{spec.slot}",
+            inline_accel=spec.inline_accel, freeze_workaround=spec.freeze,
+            name=f"contutto{spec.slot}",
         )
         spd_images = [spd_for_device(d).encode() for d in devices]
         return CardDescriptor(

@@ -116,6 +116,8 @@ class FrameEndpoint:
         #: measured at link training; ACK timeout = frtl + margin
         self.frtl_ps: int = 0
         self.failed = False
+        #: the exception that killed the channel (None while operational)
+        self.failure: Optional[Exception] = None
         #: during training: echo received signature frames back (buffer side)
         self.training_echo = False
         #: during training: callback for echoed signatures (host side)
@@ -126,6 +128,7 @@ class FrameEndpoint:
         self.seq_drops = 0
         self.duplicates_seen = 0
         self.replays_triggered = 0
+        self.ack_timeouts = 0
         self.freeze_frames_sent = 0
 
     # -- transmit ----------------------------------------------------------
@@ -133,6 +136,12 @@ class FrameEndpoint:
     def enqueue(self, **frame_fields: object) -> None:
         """Queue a payload for transmission (fields of the outgoing frame)."""
         if self.failed:
+            if isinstance(self.failure, ReplayError):
+                # replay exhaustion killed the channel: surface the specific
+                # error class so callers can route to firmware recovery
+                raise ReplayError(
+                    f"endpoint {self.name!r}: channel is down ({self.failure})"
+                )
             raise ProtocolError(f"endpoint {self.name!r}: channel is down")
         self._tx_queue.append(dict(frame_fields))
         self.sim.call_after(self.config.tx_overhead_ps, self._pump)
@@ -190,6 +199,10 @@ class FrameEndpoint:
             return
         _, _, sent_at = oldest
         if self.sim.now_ps - sent_at >= self._ack_timeout_ps:
+            self.ack_timeouts += 1
+            trace = probe.session
+            if trace is not None:
+                trace.count("dmi.ack_timeouts")
             self._start_replay()
         else:
             self._schedule_ack_check()
@@ -227,6 +240,8 @@ class FrameEndpoint:
             for _ in range(min(n_freeze, 64)):
                 self.tx_link.send(self._repack(self._last_tx_frame))
                 self.freeze_frames_sent += 1
+                if trace is not None:
+                    trace.count("dmi.freeze_frames")
         self.sim.call_after(prep, self._do_replay)
 
     def _repack(self, frame: Frame) -> bytes:
@@ -256,6 +271,14 @@ class FrameEndpoint:
 
     def _fail(self, exc: Exception) -> None:
         self.failed = True
+        self.failure = exc
+        trace = probe.session
+        if trace is not None:
+            trace.instant(
+                "dmi", f"channel_failed:{self.name}", self.sim.now_ps,
+                {"error": str(exc)},
+            )
+            trace.count("dmi.channel_failed")
         if self.on_fail is not None:
             self.on_fail(exc)
         else:
@@ -270,6 +293,7 @@ class FrameEndpoint:
         are discarded — command-layer state must be reset alongside.
         """
         self.failed = False
+        self.failure = None
         self._next_tx_seq = 0
         self._last_tx_frame = None
         self._last_accepted = None
@@ -349,8 +373,14 @@ class FrameEndpoint:
             self.on_payload(frame)
         elif 2 <= fwd <= self.config.replay_depth:
             self.seq_drops += 1
+            trace = probe.session
+            if trace is not None:
+                trace.count("dmi.seq_drops")
         else:
             self.duplicates_seen += 1
+            trace = probe.session
+            if trace is not None:
+                trace.count("dmi.duplicates")
             # Re-ACK only *payload* duplicates: they mean the peer is
             # replaying held frames because our earlier ACK was lost.  An
             # idle duplicate is just an ACK carrier — it is never held for

@@ -42,8 +42,16 @@ class LinkErrorModel:
 
     frame_error_rate: float = 0.0
     max_flips: int = 1
+    #: corrupt the next N frames unconditionally (deterministic drops for
+    #: fault injection); consumed before the stochastic rate is consulted
+    force_drops: int = 0
 
     def corrupt(self, data: bytes, rng: Rng) -> bytes:
+        if self.force_drops > 0:
+            self.force_drops -= 1
+            out = bytearray(data)
+            out[0] ^= 1
+            return bytes(out)
         if not rng.chance(self.frame_error_rate):
             return data
         out = bytearray(data)

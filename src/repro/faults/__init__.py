@@ -1,0 +1,39 @@
+"""Deterministic fault injection & resilience reporting.
+
+See :mod:`repro.faults.plan` for the plan schema,
+:mod:`repro.faults.injectors` for the registry of fault primitives, and
+``docs/faults.md`` for the full guide.  The fault experiments
+(:mod:`repro.faults.experiments`) are intentionally *not* imported here —
+they pull in :mod:`repro.core` and are reached through the campaign
+registry instead.
+"""
+
+from .controller import FaultController, FaultWindow
+from .injectors import (
+    INJECTORS,
+    Injector,
+    configure_link_errors,
+    injector_names,
+    make_injector,
+    register_injector,
+)
+from .plan import SCHEDULES, FaultEvent, FaultPlan, FaultSpec
+from .report import FaultTally, ResilienceReport, report_from_snapshot
+
+__all__ = [
+    "FaultController",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultTally",
+    "FaultWindow",
+    "INJECTORS",
+    "Injector",
+    "ResilienceReport",
+    "SCHEDULES",
+    "configure_link_errors",
+    "injector_names",
+    "make_injector",
+    "register_injector",
+    "report_from_snapshot",
+]

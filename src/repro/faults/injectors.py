@@ -1,0 +1,437 @@
+"""The injector registry: binding fault specs to the existing primitives.
+
+An *injector* is the glue between one :class:`~repro.faults.plan.FaultSpec`
+and the simulation object it perturbs.  Injectors never reimplement fault
+behaviour — they drive the error paths the model already has:
+
+==================== =====================================================
+``dmi.bit_errors``    raise a link's :class:`LinkErrorModel` frame error
+                      rate for the window (CRC drops -> replay machinery)
+``dmi.frame_drop``    force the next N frames to corrupt (guaranteed CRC
+                      drop, independent of the stochastic rate)
+``dmi.degrade``       hard-fail the channel; recovery retrains it through
+                      :meth:`Power8Socket.recover_channel` (out of kernel)
+``memory.bit_flips``  flip stored bits on ECC DIMMs (cosmic-ray model,
+                      healed by SEC-DED on the next read or by patrol)
+``memory.scrub_storm`` run an aggressive patrol scrubber for the window
+``memory.bank_fault`` mark one DRAM bank slow or failed
+``nvdimm.power_loss`` drop host power on NVDIMM-N modules (save to flash
+                      or LOST on an undersized supercap); window end
+                      restores power
+``accel.engine_stall`` seize MBS command engines for the window
+==================== =====================================================
+
+Each injector reports an *outcome string*: ``inject`` returns
+``"injected"`` or ``"skipped"`` (no eligible target), ``recover`` returns
+``"recovered"``, ``"failed"``, ``"lost"``, or ``"noop"``.  Injectors whose
+recovery cannot run inside a kernel event (channel retraining calls
+``sim.run``) set ``needs_heal`` and do the real work in ``heal()``, which
+the :class:`~repro.faults.controller.FaultController` invokes between
+simulator runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..dmi.link import LinkErrorModel, SerialLink
+from ..errors import ConfigurationError, ReplayError
+from ..memory.dram import DdrDram
+from ..memory.nvdimm import NvdimmN, NvdimmState
+from ..memory.scrubber import PatrolScrubber, ScrubConfig
+from ..sim import Rng, Simulator
+from ..units import us_to_ps
+from .plan import FaultSpec
+
+#: registered injector constructors, keyed by plan-entry name
+INJECTORS: Dict[str, type] = {}
+
+
+def register_injector(name: str) -> Callable[[type], type]:
+    """Class decorator adding an injector to the registry."""
+
+    def wrap(cls: type) -> type:
+        cls.name = name
+        INJECTORS[name] = cls
+        return cls
+
+    return wrap
+
+
+def injector_names() -> List[str]:
+    return sorted(INJECTORS)
+
+
+def make_injector(spec: FaultSpec, sim: Simulator, rng: Rng) -> "Injector":
+    cls = INJECTORS.get(spec.injector)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown injector {spec.injector!r} (known: {', '.join(injector_names())})"
+        )
+    return cls(sim, spec, rng)
+
+
+# ---------------------------------------------------------------------------
+# Link-error configuration: the single source of truth
+# ---------------------------------------------------------------------------
+
+
+def configure_link_errors(
+    links: Iterable[SerialLink], frame_error_rate: float, max_flips: int = 1
+) -> List[Tuple[float, int]]:
+    """Set the error model of each link; returns the previous settings.
+
+    Every path that configures link errors — ``SocketConfig.
+    frame_error_rate`` at attach time, the ``dmi.bit_errors`` injector at
+    runtime — goes through here, so there is exactly one place that knows
+    how a BER turns into :class:`LinkErrorModel` state.
+    """
+    if not 0.0 <= frame_error_rate <= 1.0:
+        raise ConfigurationError(
+            f"frame error rate {frame_error_rate} outside [0, 1]"
+        )
+    previous: List[Tuple[float, int]] = []
+    for link in links:
+        model = link.error_model
+        previous.append((model.frame_error_rate, model.max_flips))
+        model.frame_error_rate = frame_error_rate
+        model.max_flips = max_flips
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Target resolution
+# ---------------------------------------------------------------------------
+
+
+def _socket_of(system):
+    """Accept a ContuttoSystem or a bare Power8Socket."""
+    return getattr(system, "socket", system)
+
+
+def _target_slots(system, target: str) -> List[Tuple[int, object]]:
+    """(channel_no, ChannelSlot) pairs the target selector names.
+
+    An empty target means every populated channel; otherwise the target is
+    a channel number.
+    """
+    socket = _socket_of(system)
+    if target == "":
+        return [(no, socket.slots[no]) for no in sorted(socket.slots)]
+    try:
+        channel_no = int(target)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad fault target {target!r}") from exc
+    if channel_no not in socket.slots:
+        raise ConfigurationError(f"fault target channel {channel_no} not populated")
+    return [(channel_no, socket.slots[channel_no])]
+
+
+def _dram_devices(slot) -> List[DdrDram]:
+    """DRAM ranks behind a slot's buffer (an NVDIMM exposes its DRAM side)."""
+    devices: List[DdrDram] = []
+    for port in getattr(slot.buffer, "ports", []):
+        device = port.device
+        if isinstance(device, NvdimmN):
+            devices.append(device.dram)
+        elif isinstance(device, DdrDram):
+            devices.append(device)
+    return devices
+
+
+def _nvdimm_devices(slot) -> List[NvdimmN]:
+    return [
+        port.device
+        for port in getattr(slot.buffer, "ports", [])
+        if isinstance(port.device, NvdimmN)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Base class
+# ---------------------------------------------------------------------------
+
+
+class Injector:
+    """One bound fault: knows its targets and how to perturb/restore them."""
+
+    name = "base"
+    #: recovery must run outside kernel events (controller.heal())
+    needs_heal = False
+
+    def __init__(self, sim: Simulator, spec: FaultSpec, rng: Rng):
+        self.sim = sim
+        self.spec = spec
+        self.rng = rng
+
+    def bind(self, system) -> None:
+        raise NotImplementedError
+
+    def inject(self, now_ps: int) -> str:
+        raise NotImplementedError
+
+    def recover(self, now_ps: int) -> str:
+        return "noop"
+
+    def heal(self, now_ps: int) -> str:
+        return "noop"
+
+
+# ---------------------------------------------------------------------------
+# DMI injectors
+# ---------------------------------------------------------------------------
+
+
+@register_injector("dmi.bit_errors")
+class DmiBitErrors(Injector):
+    """Raise the frame error rate on a channel's links for the window."""
+
+    def bind(self, system) -> None:
+        self.links: List[SerialLink] = []
+        for _, slot in _target_slots(system, self.spec.target):
+            self.links += [slot.channel.down_link, slot.channel.up_link]
+        self._saved: Optional[List[Tuple[float, int]]] = None
+
+    def inject(self, now_ps: int) -> str:
+        if not self.links:
+            return "skipped"
+        if self._saved is None:  # overlapping windows keep the first save
+            self._saved = configure_link_errors(
+                self.links,
+                float(self.spec.param("rate", 0.05)),
+                int(self.spec.param("max_flips", 1)),
+            )
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        if self._saved is None:
+            return "noop"
+        for link, (rate, flips) in zip(self.links, self._saved):
+            link.error_model.frame_error_rate = rate
+            link.error_model.max_flips = flips
+        self._saved = None
+        return "recovered"
+
+
+@register_injector("dmi.frame_drop")
+class DmiFrameDrop(Injector):
+    """Force the next N frames on a link direction to fail CRC."""
+
+    def bind(self, system) -> None:
+        direction = str(self.spec.param("direction", "down"))
+        if direction not in ("down", "up", "both"):
+            raise ConfigurationError(
+                f"{self.spec.label}: direction must be down/up/both"
+            )
+        self.models: List[LinkErrorModel] = []
+        for _, slot in _target_slots(system, self.spec.target):
+            if direction in ("down", "both"):
+                self.models.append(slot.channel.down_link.error_model)
+            if direction in ("up", "both"):
+                self.models.append(slot.channel.up_link.error_model)
+
+    def inject(self, now_ps: int) -> str:
+        if not self.models:
+            return "skipped"
+        count = int(self.spec.param("count", 1))
+        for model in self.models:
+            model.force_drops += count
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        # drops not yet consumed by traffic are cancelled at window end
+        for model in self.models:
+            model.force_drops = 0
+        return "recovered"
+
+
+@register_injector("dmi.degrade")
+class DmiDegrade(Injector):
+    """Hard link degrade: the channel fails and must be retrained.
+
+    Injection marks the channel failed exactly as replay exhaustion does;
+    recovery goes through the socket's firmware-style
+    :meth:`recover_channel` flow, which runs the simulator itself and
+    therefore happens in :meth:`heal` (between kernel runs), not at the
+    in-kernel window close.
+    """
+
+    needs_heal = True
+
+    def bind(self, system) -> None:
+        self.socket = _socket_of(system)
+        self.targets = _target_slots(system, self.spec.target)
+
+    def inject(self, now_ps: int) -> str:
+        hit = False
+        for channel_no, slot in self.targets:
+            if slot.channel.operational:
+                slot.channel._on_fail(ReplayError(
+                    f"injected link degrade ({self.spec.label}) on channel "
+                    f"{channel_no}"
+                ))
+                hit = True
+        return "injected" if hit else "skipped"
+
+    def heal(self, now_ps: int) -> str:
+        ok = True
+        for channel_no, slot in self.targets:
+            if not slot.channel.operational or not slot.trained:
+                ok = self.socket.recover_channel(channel_no) and ok
+        return "recovered" if ok else "failed"
+
+
+# ---------------------------------------------------------------------------
+# Memory injectors
+# ---------------------------------------------------------------------------
+
+
+@register_injector("memory.bit_flips")
+class MemoryBitFlips(Injector):
+    """Flip stored bits on ECC-enabled DRAM (SEC-DED heals them on read)."""
+
+    def bind(self, system) -> None:
+        self.devices: List[DdrDram] = []
+        for _, slot in _target_slots(system, self.spec.target):
+            self.devices += [d for d in _dram_devices(slot) if d.ecc_enabled]
+
+    def inject(self, now_ps: int) -> str:
+        if not self.devices:
+            return "skipped"
+        flips = int(self.spec.param("flips", 1))
+        for device in self.devices:
+            words = device.capacity_bytes // 8
+            for _ in range(flips):
+                addr = self.rng.randint(0, words - 1) * 8
+                device.inject_bit_error(addr, self.rng.randint(0, 63))
+        return "injected"
+
+
+@register_injector("memory.scrub_storm")
+class ScrubStorm(Injector):
+    """Run an aggressive patrol scrub for the window (bandwidth thief)."""
+
+    def bind(self, system) -> None:
+        self.devices: List[DdrDram] = []
+        for _, slot in _target_slots(system, self.spec.target):
+            self.devices += [d for d in _dram_devices(slot) if d.ecc_enabled]
+        self.scrubbers: List[PatrolScrubber] = []
+
+    def inject(self, now_ps: int) -> str:
+        if not self.devices:
+            return "skipped"
+        config = ScrubConfig(
+            interval_ps=int(self.spec.param("interval_ps", us_to_ps(1))),
+            lines_per_step=int(self.spec.param("lines_per_step", 32)),
+        )
+        for i, device in enumerate(self.devices):
+            scrubber = PatrolScrubber(
+                self.sim, device, config, name=f"{self.spec.label}.scrub{i}"
+            )
+            scrubber.start()
+            self.scrubbers.append(scrubber)
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        for scrubber in self.scrubbers:
+            scrubber.stop_requested = True
+        self.scrubbers.clear()
+        return "recovered"
+
+
+@register_injector("memory.bank_fault")
+class BankFault(Injector):
+    """Mark one DRAM bank slow (extra access latency) or failed (UEs)."""
+
+    def bind(self, system) -> None:
+        self.devices: List[DdrDram] = []
+        for _, slot in _target_slots(system, self.spec.target):
+            self.devices += _dram_devices(slot)
+        self.bank = int(self.spec.param("bank", 0))
+        self.mode = str(self.spec.param("mode", "slow"))
+        self.extra_ps = int(self.spec.param("extra_ps", 100_000))
+
+    def inject(self, now_ps: int) -> str:
+        if not self.devices:
+            return "skipped"
+        for device in self.devices:
+            device.set_bank_fault(self.bank, self.mode, self.extra_ps)
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        for device in self.devices:
+            device.clear_bank_fault(self.bank)
+        return "recovered"
+
+
+@register_injector("nvdimm.power_loss")
+class NvdimmPowerLoss(Injector):
+    """Drop host power on NVDIMM-N modules; window end restores it.
+
+    Each module saves to flash on supercap energy (or loses contents when
+    the supercap cannot hold up).  Recovery reports ``"lost"`` when any
+    module came back empty.
+    """
+
+    def bind(self, system) -> None:
+        self.devices: List[NvdimmN] = []
+        for _, slot in _target_slots(system, self.spec.target):
+            self.devices += _nvdimm_devices(slot)
+
+    def inject(self, now_ps: int) -> str:
+        hit = False
+        for device in self.devices:
+            if device.state is NvdimmState.NORMAL:
+                device.power_loss(now_ps)
+                hit = True
+        return "injected" if hit else "skipped"
+
+    def recover(self, now_ps: int) -> str:
+        lost = False
+        restored = False
+        for device in self.devices:
+            if device.state in (NvdimmState.SAVED, NvdimmState.LOST):
+                lost = lost or device.state is NvdimmState.LOST
+                device.power_restore(now_ps)
+                restored = True
+        if not restored:
+            return "noop"
+        return "lost" if lost else "recovered"
+
+
+# ---------------------------------------------------------------------------
+# Accelerator injector
+# ---------------------------------------------------------------------------
+
+
+@register_injector("accel.engine_stall")
+class EngineStall(Injector):
+    """Seize MBS command engines for the window, starving real traffic."""
+
+    def bind(self, system) -> None:
+        self.pools = [
+            slot.buffer.mbs.engines
+            for _, slot in _target_slots(system, self.spec.target)
+            if hasattr(slot.buffer, "mbs")
+        ]
+        self._held: List[Tuple[object, object]] = []
+
+    def inject(self, now_ps: int) -> str:
+        if not self.pools:
+            return "skipped"
+        want = int(self.spec.param("engines", 8))
+        seized = 0
+        for pool in self.pools:
+            for _ in range(want):
+                engine = pool.try_allocate(-1)
+                if engine is None:
+                    break
+                self._held.append((pool, engine))
+                seized += 1
+        return "injected" if seized else "skipped"
+
+    def recover(self, now_ps: int) -> str:
+        for pool, engine in self._held:
+            pool.free(engine)
+        self._held.clear()
+        return "recovered"

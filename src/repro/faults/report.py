@@ -1,0 +1,153 @@
+"""Resilience reporting: tallies per fault label, rendered as text.
+
+Two entry points produce a report:
+
+* a live :class:`FaultController` tallies outcomes directly into its
+  :class:`ResilienceReport` as events fire, and
+* :func:`report_from_snapshot` reconstructs totals from a campaign
+  metrics snapshot's ``faults.*`` counters — the path
+  ``scripts/run_chaos.py`` uses, since controllers live and die inside
+  the experiment runners.
+
+``render`` optionally takes a
+:class:`~repro.telemetry.attribution.LatencyBreakdown` and appends
+clean-vs-fault-affected latency deltas per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+#: recovery outcomes a tally tracks (injections and skips are separate)
+OUTCOMES = ("recovered", "failed", "lost")
+
+
+@dataclass
+class FaultTally:
+    """Outcome counts for one plan entry."""
+
+    label: str
+    injector: str
+    injected: int = 0
+    skipped: int = 0
+    recovered: int = 0
+    failed: int = 0
+    lost: int = 0
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregated fault outcomes for one controller run."""
+
+    plan_name: str = "faults"
+    tallies: Dict[str, FaultTally] = field(default_factory=dict)
+
+    def _tally(self, spec) -> FaultTally:
+        tally = self.tallies.get(spec.label)
+        if tally is None:
+            tally = FaultTally(spec.label, spec.injector)
+            self.tallies[spec.label] = tally
+        return tally
+
+    def record_injection(self, spec, outcome: str) -> None:
+        tally = self._tally(spec)
+        if outcome == "injected":
+            tally.injected += 1
+        else:
+            tally.skipped += 1
+
+    def record_recovery(self, spec, outcome: str) -> None:
+        tally = self._tally(spec)
+        if outcome in OUTCOMES:
+            setattr(tally, outcome, getattr(tally, outcome) + 1)
+
+    # -- aggregate views --------------------------------------------------
+
+    def total(self, field_name: str) -> int:
+        return sum(getattr(t, field_name) for t in self.tallies.values())
+
+    def rows(self) -> List[FaultTally]:
+        return [self.tallies[label] for label in sorted(self.tallies)]
+
+    def render(self, breakdown=None) -> str:
+        """The resilience report as text; latency deltas when a
+        breakdown with fault-tagged journeys is supplied."""
+        lines = [
+            f"Resilience report — plan {self.plan_name!r}",
+            f"  faults injected: {self.total('injected')}"
+            f"  (skipped: {self.total('skipped')})",
+            f"  recoveries: {self.total('recovered')}"
+            f"   failures: {self.total('failed')}"
+            f"   lost: {self.total('lost')}",
+        ]
+        if self.tallies:
+            lines.append("")
+            width = max(len(t.label) for t in self.tallies.values())
+            header = (f"  {'fault':<{width}}  {'injected':>8}  {'skipped':>7}"
+                      f"  {'recovered':>9}  {'failed':>6}  {'lost':>4}")
+            lines += [header, "  " + "-" * (len(header) - 2)]
+            for t in self.rows():
+                lines.append(
+                    f"  {t.label:<{width}}  {t.injected:>8}  {t.skipped:>7}"
+                    f"  {t.recovered:>9}  {t.failed:>6}  {t.lost:>4}"
+                )
+        if breakdown is not None:
+            delta_lines = _latency_delta_lines(breakdown)
+            if delta_lines:
+                lines += ["", "  clean vs fault-affected latency (ns):"] + delta_lines
+        return "\n".join(lines)
+
+
+def _latency_delta_lines(breakdown) -> List[str]:
+    ns = 1 / 1_000.0  # summaries are in ps
+    lines: List[str] = []
+    for scenario in breakdown.scenarios():
+        split = breakdown.fault_split(scenario)
+        if split is None:
+            continue
+        clean, fault = split
+        delta = (fault["mean"] - clean["mean"]) * ns
+        lines.append(
+            f"    {scenario}: clean p50={clean['p50'] * ns:.1f}"
+            f" p99={clean['p99'] * ns:.1f} ({clean['count']:.0f} journeys)"
+            f" | fault p50={fault['p50'] * ns:.1f} p99={fault['p99'] * ns:.1f}"
+            f" ({fault['count']:.0f} journeys) | mean delta {delta:+.1f}"
+        )
+    return lines
+
+
+def report_from_snapshot(
+    snapshot: Mapping[str, float], plan_name: str = "faults"
+) -> Optional[ResilienceReport]:
+    """Rebuild aggregate totals from ``faults.*`` metrics counters.
+
+    Per-label tallies are not recoverable from a flat snapshot, so the
+    result carries one synthetic tally per injector counter plus the
+    aggregate totals.  Returns ``None`` when the snapshot recorded no
+    fault activity at all.
+    """
+    injected = int(snapshot.get("faults.injected", 0))
+    skipped = int(snapshot.get("faults.skipped", 0))
+    if injected == 0 and skipped == 0:
+        return None
+    report = ResilienceReport(plan_name)
+    for key in sorted(snapshot):
+        if not key.startswith("faults."):
+            continue
+        kind = key[len("faults."):]
+        if kind in ("injected", "skipped") or kind in OUTCOMES:
+            continue
+        tally = FaultTally(label=kind, injector=kind)
+        tally.injected = int(snapshot[key])
+        report.tallies[kind] = tally
+    # aggregate-only totals ride on a synthetic row when per-injector
+    # counters are absent, keeping total() views correct either way
+    totals = FaultTally(label="(total)", injector="*")
+    totals.injected = injected - report.total("injected")
+    totals.skipped = skipped
+    totals.recovered = int(snapshot.get("faults.recovered", 0))
+    totals.failed = int(snapshot.get("faults.failed", 0))
+    totals.lost = int(snapshot.get("faults.lost", 0))
+    report.tallies["(total)"] = totals
+    return report

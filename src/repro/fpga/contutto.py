@@ -59,9 +59,11 @@ class ConTuttoBuffer(MemoryBuffer):
         knob_position: int = 0,
         inline_accel: bool = False,
         mc_config: MemoryControllerConfig = None,
+        freeze_workaround: bool = True,
         name: str = "contutto0",
     ):
         super().__init__(sim, name)
+        self.freeze_workaround = freeze_workaround
         if not 1 <= len(devices) <= NUM_DIMM_SLOTS:
             raise ConfigurationError(
                 f"{name}: ConTutto has {NUM_DIMM_SLOTS} DIMM slots, "
@@ -143,7 +145,9 @@ class ConTuttoBuffer(MemoryBuffer):
             self.timing.tx_overhead_ps(),
             self.timing.rx_overhead_ps(),
             self.timing.replay_prep_ps(),
-            True,  # the freeze workaround is part of the shipping design
+            # part of the shipping design; disable to study the bare
+            # replay-start path (Section 3.3)
+            self.freeze_workaround,
         )
 
     # -- accelerator integration -------------------------------------------------

@@ -19,9 +19,9 @@ rate: 16 beats = 8 memory-clock cycles = two BL8 bursts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
-from ..errors import AlignmentError
+from ..errors import AlignmentError, ConfigurationError
 from .device import MemoryDevice
 
 
@@ -110,6 +110,8 @@ class DdrDram(MemoryDevice):
         self.ecc_enabled = ecc_enabled
         self._banks: List[_Bank] = [_Bank() for _ in range(self.NUM_BANKS)]
         self._bus_free_ps = 0
+        #: injected per-bank faults: bank -> ("slow", extra_ps) | ("fail", 0)
+        self._bank_faults: Dict[int, Tuple[str, int]] = {}
         if ecc_enabled:
             from .backing import SparseBacking
 
@@ -162,6 +164,10 @@ class DdrDram(MemoryDevice):
 
         start = max(now_ps, bank.ready_ps)
         start = self._refresh_penalty(start)
+        if self._bank_faults:
+            fault = self._bank_faults.get(bank_no)
+            if fault is not None and fault[0] == "slow":
+                start += fault[1]
 
         if bank.open_row == row:
             self.row_hits += 1
@@ -190,6 +196,16 @@ class DdrDram(MemoryDevice):
 
     def read(self, addr: int, nbytes: int, now_ps: int) -> Tuple[bytes, int]:
         self._precheck(addr, nbytes)
+        if self._bank_faults:
+            bank_no, _ = self._map(addr)
+            fault = self._bank_faults.get(bank_no)
+            if fault is not None and fault[0] == "fail":
+                from .ecc import UncorrectableEccError
+
+                self.ecc_uncorrectable += 1
+                raise UncorrectableEccError(
+                    f"{self.name}: bank {bank_no} failed (injected fault)"
+                )
         if nbytes > self.ROW_BYTES:
             raise AlignmentError(
                 f"{self.name}: single access of {nbytes}B exceeds a row"
@@ -242,6 +258,24 @@ class DdrDram(MemoryDevice):
         byte = bytearray(self.backing.read(addr + bit // 8, 1))
         byte[0] ^= 1 << (bit % 8)
         self.backing.write(addr + bit // 8, bytes(byte))
+
+    # -- injected bank faults ---------------------------------------------------
+
+    def set_bank_fault(self, bank: int, mode: str, extra_ps: int = 0) -> None:
+        """Mark one bank ``"slow"`` (extra access latency) or ``"fail"``
+        (reads raise :class:`UncorrectableEccError`; the controller poisons
+        the line).  The nil-check on ``_bank_faults`` keeps the clean path
+        free of per-access cost."""
+        if mode not in ("slow", "fail"):
+            raise ConfigurationError(f"{self.name}: bank fault mode {mode!r}")
+        if not 0 <= bank < self.NUM_BANKS:
+            raise ConfigurationError(f"{self.name}: no bank {bank}")
+        if mode == "slow" and extra_ps <= 0:
+            raise ConfigurationError(f"{self.name}: slow fault needs extra_ps > 0")
+        self._bank_faults[bank] = (mode, extra_ps if mode == "slow" else 0)
+
+    def clear_bank_fault(self, bank: int) -> None:
+        self._bank_faults.pop(bank, None)
 
     # -- diagnostics -----------------------------------------------------------
 

@@ -99,17 +99,23 @@ class Power8Socket:
             self.config.contutto_link_gbps if is_fpga else self.config.centaur_link_gbps
         )
         clock = dmi_link_clock(gbps)
-        error_model = LinkErrorModel(frame_error_rate=self.config.frame_error_rate)
+        # each link owns its error model so fault injectors can save and
+        # restore per-link settings without aliasing
         down = SerialLink(
             self.sim, f"{self.name}.ch{channel_no}.down", 14, clock,
-            cdr_capture=is_fpga, error_model=error_model,
+            cdr_capture=is_fpga, error_model=LinkErrorModel(),
             rng=self.rng.fork(f"ch{channel_no}.down"),
         )
         up = SerialLink(
             self.sim, f"{self.name}.ch{channel_no}.up", 21, clock,
-            cdr_capture=False, error_model=error_model,
+            cdr_capture=False, error_model=LinkErrorModel(),
             rng=self.rng.fork(f"ch{channel_no}.up"),
         )
+        # one source of truth for link-error configuration: the same helper
+        # the dmi.bit_errors fault injector uses (validates the rate too)
+        from ..faults.injectors import configure_link_errors
+
+        configure_link_errors([down, up], self.config.frame_error_rate)
         tx, rx, prep, freeze = buffer.endpoint_overheads()
         buffer_config = EndpointConfig(
             tx_overhead_ps=tx,

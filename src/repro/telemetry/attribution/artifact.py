@@ -57,6 +57,7 @@ def journey_record(journey: Journey) -> dict:
             }
             for v in journey.stages
         ],
+        **({"faults": list(journey.faults)} if journey.faults else {}),
     }
 
 

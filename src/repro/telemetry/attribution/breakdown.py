@@ -33,6 +33,11 @@ class LatencyBreakdown:
         self._totals: Dict[str, Histogram] = {}
         self._residuals: Dict[str, Histogram] = {}
         self._counts: Dict[str, int] = {}
+        # clean vs fault-affected split of journey totals (fault-tagged
+        # journeys carry a "faults" list in their record)
+        self._clean_totals: Dict[str, Histogram] = {}
+        self._fault_totals: Dict[str, Histogram] = {}
+        self._fault_counts: Dict[str, int] = {}
 
     # -- ingestion ----------------------------------------------------------
 
@@ -44,6 +49,11 @@ class LatencyBreakdown:
         total = record["end_ps"] - record["start_ps"]
         self._counts[scenario] = self._counts.get(scenario, 0) + 1
         self._hist(self._totals, scenario).record(total)
+        if record.get("faults"):
+            self._fault_counts[scenario] = self._fault_counts.get(scenario, 0) + 1
+            self._hist(self._fault_totals, scenario).record(total)
+        else:
+            self._hist(self._clean_totals, scenario).record(total)
 
         top: Dict[str, int] = {}
         nested: Dict[str, int] = {}
@@ -93,6 +103,22 @@ class LatencyBreakdown:
 
     def journey_count(self, scenario: str = "") -> int:
         return self._counts.get(scenario, 0)
+
+    def fault_count(self, scenario: str = "") -> int:
+        """Journeys of the scenario that overlapped a fault window."""
+        return self._fault_counts.get(scenario, 0)
+
+    def fault_split(
+        self, scenario: str
+    ) -> Optional[Tuple[Dict[str, float], Dict[str, float]]]:
+        """(clean, fault-affected) end-to-end summaries in ps, or ``None``
+        when the scenario saw no fault-tagged journeys."""
+        if not self._fault_counts.get(scenario):
+            return None
+        return (
+            self._hist(self._clean_totals, scenario).summary(),
+            self._hist(self._fault_totals, scenario).summary(),
+        )
 
     def stages(self, scenario: str) -> List[str]:
         """Stages seen for a scenario, canonical order first."""

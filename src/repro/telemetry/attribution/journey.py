@@ -29,7 +29,7 @@ the buffer side looks the binding up when it reassembles the command.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: visit classification: waiting for a resource vs being serviced
 QUEUE = "queue"
@@ -86,6 +86,8 @@ class Journey:
     stages: List[StageVisit] = field(default_factory=list)
     #: where the next top-level stage starts (the end of the last one)
     cursor_ps: int = 0
+    #: labels of fault windows this journey overlapped (empty = clean run)
+    faults: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.cursor_ps == 0:
@@ -120,6 +122,11 @@ class JourneyTracker:
         self._active: Dict[int, Journey] = {}
         self._bindings: Dict[Tuple[str, int], int] = {}
         self._next_jid = 1
+        #: when a FaultController is active it installs a callable
+        #: ``(start_ps, end_ps) -> tuple[str, ...]`` here; journeys that
+        #: overlap an active fault window get tagged at finish time.
+        #: Nil-checked like the ambient probe: zero cost with no plan.
+        self.fault_probe: Optional[Callable[[int, int], Tuple[str, ...]]] = None
 
     # -- scenario labelling -------------------------------------------------
 
@@ -146,6 +153,10 @@ class JourneyTracker:
         if journey is None:
             return None
         journey.end_ps = now_ps
+        if self.fault_probe is not None:
+            tags = self.fault_probe(journey.start_ps, now_ps)
+            if tags:
+                journey.faults = tuple(tags)
         self.completed.append(journey)
         return journey
 

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.campaign import CampaignJob, ScenarioMatrix, experiment_names
+from repro.campaign import (
+    CampaignJob,
+    ScenarioMatrix,
+    experiment_names,
+    get_experiment,
+)
 from repro.errors import ConfigurationError
 from repro.sim import derive_seed
 
@@ -10,7 +15,13 @@ from repro.sim import derive_seed
 class TestExpansion:
     def test_paper_matrix_covers_every_experiment_in_order(self):
         jobs = ScenarioMatrix.paper().expand()
-        assert [j.experiment for j in jobs] == experiment_names()
+        # fault drills register paper=False and only run when named
+        paper = [n for n in experiment_names() if get_experiment(n).paper]
+        assert [j.experiment for j in jobs] == paper
+
+    def test_fault_experiments_run_only_when_named(self):
+        jobs = ScenarioMatrix.paper(only=["ber_sweep"]).expand()
+        assert [j.experiment for j in jobs] == ["ber_sweep"]
 
     def test_paper_matrix_pins_harness_default_seed(self):
         assert all(j.seed == 0 for j in ScenarioMatrix.paper().expand())

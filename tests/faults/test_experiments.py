@@ -1,0 +1,68 @@
+"""The registered fault experiments: BER sweep and NVDIMM power drill."""
+
+from repro.campaign import experiment_names, get_experiment
+from repro.faults import FaultPlan, FaultSpec
+from repro.faults.experiments import run_ber_sweep, run_nvdimm_drill
+
+
+class TestRegistration:
+    def test_fault_experiments_registered_but_not_paper(self):
+        for name in ("ber_sweep", "nvdimm_drill"):
+            spec = get_experiment(name)
+            assert spec.supports_faults
+            assert not spec.paper  # must not disturb the paper campaign
+        assert "ber_sweep" in experiment_names()
+
+    def test_paper_experiments_do_not_take_faults(self):
+        assert not get_experiment("table3").supports_faults
+
+
+class TestBerSweep:
+    def test_replays_grow_with_error_rate(self):
+        table = run_ber_sweep(samples=6, rates=(0.0, 0.05, 0.1), seed=0)
+        freeze = [r for r in table.rows if r[1] == "yes"]
+        assert [r[0] for r in freeze] == ["0", "0.05", "0.1"]
+        replays = [r[3] for r in freeze]
+        assert replays[0] == 0  # no errors, no replays
+        assert replays == sorted(replays) and replays[-1] > 0
+        crc_drops = [r[4] for r in freeze]
+        assert crc_drops == sorted(crc_drops) and crc_drops[-1] > 0
+
+    def test_no_freeze_cheat_costs_channel_failures(self):
+        table = run_ber_sweep(samples=6, rates=(0.1,), seed=0)
+        by_mode = {r[1]: r for r in table.rows}
+        assert by_mode["yes"][5] == 0  # freeze workaround absorbs replays
+        assert by_mode["no"][5] > 0  # without it, the channel fails
+        assert by_mode["no"][6] == by_mode["no"][5]  # each failure recovered
+
+    def test_deterministic_given_seed(self):
+        a = run_ber_sweep(samples=4, rates=(0.05,), seed=3)
+        b = run_ber_sweep(samples=4, rates=(0.05,), seed=3)
+        assert a.rows == b.rows
+
+    def test_extra_plan_entries_merge(self):
+        plan = FaultPlan(specs=(FaultSpec(
+            "dmi.frame_drop", target="0", at_ps=0,
+            params=(("count", 2),), label="extra"),))
+        clean = run_ber_sweep(samples=4, rates=(0.0,), seed=0)
+        extra = run_ber_sweep(samples=4, rates=(0.0,), seed=0,
+                              faults=plan.to_json())
+        row = [r for r in extra.rows if r[1] == "yes"][0]
+        base = [r for r in clean.rows if r[1] == "yes"][0]
+        assert row[4] > base[4]  # forced drops show up as CRC drops
+
+
+class TestNvdimmDrill:
+    def test_healthy_recovers_undersized_loses(self):
+        table = run_nvdimm_drill(lines=4, seed=0)
+        by_case = {r[0]: r for r in table.rows}
+        healthy, undersized = by_case["healthy"], by_case["undersized"]
+        assert healthy[5] == "recovered" and healthy[6] == "yes"
+        assert healthy[3] > 0 and healthy[4] == 0  # clean saves
+        assert undersized[5] == "LOST" and undersized[6] == "no"
+        assert undersized[3] == 0 and undersized[4] > 0  # failed saves
+
+    def test_deterministic_given_seed(self):
+        a = run_nvdimm_drill(lines=4, seed=1)
+        b = run_nvdimm_drill(lines=4, seed=1)
+        assert a.rows == b.rows

@@ -1,0 +1,213 @@
+"""Injector registry: each injector drives its primitive's real error path."""
+
+import pytest
+
+from repro.core.system import CardSpec, ContuttoSystem
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultSpec,
+    configure_link_errors,
+    injector_names,
+    make_injector,
+)
+from repro.memory import NvdimmState, SupercapSpec
+from repro.sim import Rng
+from repro.units import MIB
+
+ALL_INJECTORS = [
+    "accel.engine_stall",
+    "dmi.bit_errors",
+    "dmi.degrade",
+    "dmi.frame_drop",
+    "memory.bank_fault",
+    "memory.bit_flips",
+    "memory.scrub_storm",
+    "nvdimm.power_loss",
+]
+
+
+def build(memory="dram", ecc=False):
+    return ContuttoSystem.build(
+        [CardSpec(slot=0, kind="contutto", capacity_per_dimm=64 * MIB,
+                  ecc=ecc)]
+        + ([CardSpec(slot=2, kind="contutto", memory=memory,
+                     capacity_per_dimm=64 * MIB)]
+           if memory != "dram" else []),
+        seed=0,
+    )
+
+
+def bound(system, spec):
+    injector = make_injector(spec, system.sim, Rng(1, "t"))
+    injector.bind(system)
+    return injector
+
+
+class TestRegistry:
+    def test_all_injectors_registered(self):
+        assert injector_names() == ALL_INJECTORS
+
+    def test_unknown_injector_rejected(self):
+        from repro.sim import Simulator
+        with pytest.raises(ConfigurationError):
+            make_injector(FaultSpec("dmi.bogus"), Simulator(), Rng(0, "t"))
+
+    def test_bad_target_rejected_at_bind(self):
+        system = build()
+        with pytest.raises(ConfigurationError):
+            bound(system, FaultSpec("dmi.bit_errors", target="9"))
+        with pytest.raises(ConfigurationError):
+            bound(system, FaultSpec("dmi.bit_errors", target="nope"))
+
+
+class TestConfigureLinkErrors:
+    def test_sets_and_returns_previous(self):
+        system = build()
+        channel = system.socket.slots[0].channel
+        links = [channel.down_link, channel.up_link]
+        saved = configure_link_errors(links, 0.25, max_flips=2)
+        assert all(l.error_model.frame_error_rate == 0.25 for l in links)
+        assert all(l.error_model.max_flips == 2 for l in links)
+        configure_link_errors(links, saved[0][0], saved[0][1])
+        assert all(l.error_model.frame_error_rate == 0.0 for l in links)
+
+    def test_rate_outside_unit_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configure_link_errors([], 1.5)
+
+
+class TestDmiInjectors:
+    def test_bit_errors_inject_and_restore(self):
+        system = build()
+        model = system.socket.slots[0].channel.down_link.error_model
+        injector = bound(system, FaultSpec(
+            "dmi.bit_errors", target="0", params=(("rate", 0.2),)))
+        assert injector.inject(0) == "injected"
+        assert model.frame_error_rate == 0.2
+        assert injector.inject(0) == "injected"  # overlap keeps first save
+        assert injector.recover(0) == "recovered"
+        assert model.frame_error_rate == 0.0
+        assert injector.recover(0) == "noop"
+
+    def test_frame_drop_forces_crc_drops(self):
+        system = build()
+        model = system.socket.slots[0].channel.down_link.error_model
+        injector = bound(system, FaultSpec(
+            "dmi.frame_drop", target="0", params=(("count", 3),)))
+        assert injector.inject(0) == "injected"
+        assert model.force_drops == 3
+        assert injector.recover(0) == "recovered"
+        assert model.force_drops == 0
+
+    def test_frame_drop_direction_validated(self):
+        system = build()
+        with pytest.raises(ConfigurationError):
+            bound(system, FaultSpec(
+                "dmi.frame_drop", params=(("direction", "sideways"),)))
+
+    def test_degrade_fails_channel_and_heals_out_of_kernel(self):
+        system = build()
+        channel = system.socket.slots[0].channel
+        injector = bound(system, FaultSpec("dmi.degrade", target="0"))
+        assert injector.needs_heal
+        assert injector.inject(system.sim.now_ps) == "injected"
+        assert not channel.operational
+        assert injector.inject(system.sim.now_ps) == "skipped"  # already down
+        assert injector.heal(system.sim.now_ps) == "recovered"
+        assert channel.operational
+
+
+class TestMemoryInjectors:
+    def test_bit_flips_need_ecc_dimms(self):
+        plain = build(ecc=False)
+        injector = bound(plain, FaultSpec("memory.bit_flips", target="0"))
+        assert injector.inject(0) == "skipped"
+
+    def test_bit_flips_corrected_on_read(self):
+        from repro.memory import DdrDram
+
+        system = build(ecc=True)
+        injector = bound(system, FaultSpec(
+            "memory.bit_flips", target="0", params=(("flips", 4),)))
+        # retarget a small standalone DIMM so the verification scan is cheap
+        small = DdrDram(1 * MIB, ecc_enabled=True, refresh_enabled=False)
+        injector.devices = [small]
+        assert injector.inject(0) == "injected"
+        flipped = [
+            addr for addr in range(0, small.capacity_bytes, 8)
+            if small.backing.read(addr, 8) != bytes(8)
+        ]
+        assert 1 <= len(flipped) <= 4
+        for addr in flipped:
+            data, _ = small.read(addr, 8, 0)  # SEC-DED heals on read
+            assert data == bytes(8)
+        assert small.ecc_corrections == len(flipped)
+
+    def test_bank_fault_slow_and_clear(self):
+        system = build()
+        device = system.cards[0].buffer.ports[0].device
+        injector = bound(system, FaultSpec(
+            "memory.bank_fault", target="0",
+            params=(("bank", 0), ("mode", "slow"), ("extra_ps", 50_000)),
+        ))
+        _, t1 = device.read(0, 128, 0)
+        _, t2 = device.read(0, 128, t1)
+        hit = t2 - t1
+        assert injector.inject(0) == "injected"
+        _, t3 = device.read(0, 128, t2)
+        assert t3 - t2 >= hit + 50_000
+        assert injector.recover(0) == "recovered"
+        _, t4 = device.read(0, 128, t3)
+        assert t4 - t3 < hit + 50_000
+
+    def test_scrub_storm_starts_and_stops_scrubbers(self):
+        system = build(ecc=True)
+        injector = bound(system, FaultSpec(
+            "memory.scrub_storm", target="0",
+            params=(("lines_per_step", 4),),
+        ))
+        assert injector.inject(system.sim.now_ps) == "injected"
+        scrubbers = list(injector.scrubbers)
+        assert scrubbers
+        assert injector.recover(system.sim.now_ps) == "recovered"
+        assert all(s.stop_requested for s in scrubbers)
+
+
+class TestNvdimmInjector:
+    def test_power_loss_saved_then_recovered(self):
+        system = build(memory="nvdimm")
+        devices = [p.device for p in system.cards[2].buffer.ports]
+        injector = bound(system, FaultSpec("nvdimm.power_loss", target="2"))
+        assert injector.inject(system.sim.now_ps) == "injected"
+        assert all(d.state is NvdimmState.SAVED for d in devices)
+        assert injector.inject(system.sim.now_ps) == "skipped"  # already down
+        assert injector.recover(system.sim.now_ps) == "recovered"
+        assert all(d.state is NvdimmState.NORMAL for d in devices)
+
+    def test_power_loss_reports_lost_on_undersized_supercap(self):
+        system = build(memory="nvdimm")
+        devices = [p.device for p in system.cards[2].buffer.ports]
+        for device in devices:
+            device.supercap = SupercapSpec(hold_up_ms=0.001)
+        injector = bound(system, FaultSpec("nvdimm.power_loss", target="2"))
+        assert injector.inject(system.sim.now_ps) == "injected"
+        assert all(d.state is NvdimmState.LOST for d in devices)
+        assert injector.recover(system.sim.now_ps) == "lost"
+
+    def test_dram_only_target_skips(self):
+        system = build()
+        injector = bound(system, FaultSpec("nvdimm.power_loss", target="0"))
+        assert injector.inject(0) == "skipped"
+
+
+class TestEngineStall:
+    def test_stall_seizes_and_releases_engines(self):
+        system = build()
+        pool = system.cards[0].buffer.mbs.engines
+        free_before = pool.free_count
+        injector = bound(system, FaultSpec(
+            "accel.engine_stall", target="0", params=(("engines", 2),)))
+        assert injector.inject(system.sim.now_ps) == "injected"
+        assert pool.free_count == free_before - 2
+        assert injector.recover(system.sim.now_ps) == "recovered"
+        assert pool.free_count == free_before

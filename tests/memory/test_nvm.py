@@ -214,3 +214,58 @@ class TestSpd:
         weak = NvdimmN(64 * MIB, supercap=SupercapSpec(hold_up_ms=0.001))
         weak.power_loss(0)
         assert not spd_for_device(weak).contents_preserved
+
+
+class TestNvdimmFailurePaths:
+    """Accounting around failed saves and restore-after-loss (the paths
+    the nvdimm.power_loss fault injector drives)."""
+
+    def undersized(self):
+        return SupercapSpec(hold_up_ms=1.0, save_bandwidth_mb_s=400.0)
+
+    def test_failed_save_is_counted(self):
+        nvdimm = NvdimmN(64 * MIB, supercap=self.undersized())
+        nvdimm.power_loss(0)
+        assert nvdimm.failed_saves == 1
+        assert nvdimm.saves == 0
+
+    def test_successful_save_is_counted(self):
+        nvdimm = NvdimmN(64 * MIB)
+        nvdimm.power_loss(0)
+        assert nvdimm.saves == 1
+        assert nvdimm.failed_saves == 0
+
+    def test_restore_after_loss_returns_to_normal_but_empty(self):
+        nvdimm = NvdimmN(64 * MIB, supercap=self.undersized())
+        t = nvdimm.write(0x200, b"gone", 0)
+        t = nvdimm.power_loss(t)
+        assert nvdimm.state is NvdimmState.LOST
+        t = nvdimm.power_restore(t)
+        assert nvdimm.state is NvdimmState.NORMAL
+        data, _ = nvdimm.read(0x200, 4, t)
+        assert data == bytes(4)
+        # back in service: the next cycle with a healthy supercap saves
+        nvdimm.supercap = SupercapSpec()
+        t = nvdimm.write(0x200, b"kept", t)
+        t = nvdimm.power_loss(t)
+        t = nvdimm.power_restore(t)
+        data, _ = nvdimm.read(0x200, 4, t)
+        assert data == b"kept"
+        assert nvdimm.saves == 1 and nvdimm.failed_saves == 1
+
+    def test_repeated_failures_accumulate(self):
+        nvdimm = NvdimmN(64 * MIB, supercap=self.undersized())
+        t = 0
+        for _ in range(3):
+            t = nvdimm.power_loss(t)
+            t = nvdimm.power_restore(t)
+        assert nvdimm.failed_saves == 3
+        assert nvdimm.saves == 0
+
+    def test_contents_preserved_flag_tracks_loss(self):
+        nvdimm = NvdimmN(64 * MIB, supercap=self.undersized())
+        assert nvdimm.contents_preserved
+        t = nvdimm.power_loss(0)
+        assert not nvdimm.contents_preserved
+        nvdimm.power_restore(t)
+        assert nvdimm.contents_preserved  # flag covers the current cycle

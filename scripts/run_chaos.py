@@ -22,7 +22,12 @@ from pathlib import Path
 
 from repro.campaign import experiment_names, get_experiment
 from repro.errors import ConfigurationError, ReproError
-from repro.faults import FaultPlan, report_from_snapshot
+from repro.faults import (
+    FaultPlan,
+    render_time_buckets,
+    report_from_snapshot,
+    time_buckets,
+)
 from repro.telemetry import TraceSession, meta_record, result_record
 from repro.telemetry.attribution import LatencyBreakdown, journey_record
 
@@ -101,6 +106,16 @@ def main(argv=None) -> int:
             print("no faults were injected (empty plan or all targets skipped)")
         else:
             print(report.render(breakdown))
+            # time-bucketed resilience view: injections vs latency over
+            # sim time, from the windows controllers published at stop()
+            windows = getattr(session, "fault_windows", None)
+            if windows and journeys is not None:
+                rows = time_buckets(
+                    windows, [journey_record(j) for j in journeys.completed]
+                )
+                if rows:
+                    print()
+                    print(render_time_buckets(rows))
         print()
 
         if args.out:

@@ -31,7 +31,11 @@ from ..core.experiment import (
     run_table5,
 )
 from ..errors import ConfigurationError
-from ..faults.experiments import run_ber_sweep, run_nvdimm_drill
+from ..faults.experiments import (
+    run_ber_sweep,
+    run_nvdimm_drill,
+    run_storage_drill,
+)
 
 
 @dataclass(frozen=True)
@@ -68,6 +72,8 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec("ber_sweep", run_ber_sweep, {"samples": 8},
                    paper=False, supports_faults=True),
     ExperimentSpec("nvdimm_drill", run_nvdimm_drill, {"lines": 16},
+                   paper=False, supports_faults=True),
+    ExperimentSpec("storage_drill", run_storage_drill, {"writes": 24},
                    paper=False, supports_faults=True),
 ]
 

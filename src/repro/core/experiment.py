@@ -285,18 +285,21 @@ def run_table4(writes: int = 24, seed: int = 0) -> ResultTable:
     job = GpfsJob(total_writes=writes, seed=99 + seed)
 
     # HDD direct
+    _set_attribution_scenario("gpfs:hdd")
     sim = Simulator()
     hdd = HardDiskDrive(sim, 1 * GIB)
     result = GpfsWriter(sim).run(_DirectWriteStore(hdd), job)
     table.add_row("Hard Disk Drive", "SAS", result.iops, cal.TABLE4_ROWS["hdd"][2])
 
     # SSD direct
+    _set_attribution_scenario("gpfs:ssd")
     sim = Simulator()
     ssd = SolidStateDrive(sim, 1 * GIB)
     result = GpfsWriter(sim).run(_DirectWriteStore(ssd), job)
     table.add_row("SSD", "SAS", result.iops, cal.TABLE4_ROWS["ssd"][2])
 
     # STT-MRAM behind ConTutto as a write cache in front of the HDD
+    _set_attribution_scenario("gpfs:wcache:boot")
     system = ContuttoSystem.build(
         [
             CardSpec(slot=2, kind="centaur", capacity_per_dimm=1 * GIB),
@@ -311,6 +314,7 @@ def run_table4(writes: int = 24, seed: int = 0) -> ResultTable:
         system.sim, pmem_blk, hdd,
         WriteCacheConfig(segment_bytes=4 * MIB, segments=16),
     )
+    _set_attribution_scenario("gpfs:wcache")
     result = GpfsWriter(system.sim).run(cache, job)
     mram_iops = result.iops
     table.add_row("STT-MRAM (ConTutto)", "DMI (memory link)", mram_iops,
@@ -352,7 +356,9 @@ def run_fio_matrix(
     job_seed = 1234 + seed
     results = {}
     for name in FIO_STORES:
+        _set_attribution_scenario(f"fio:{name}:boot")
         device, sim = _make_fio_store(name, seed=seed)
+        _set_attribution_scenario(f"fio:{name}")
         runner = FioRunner(sim)
         lat_read = runner.run(device, FioJob(rw="randread", total_ios=ios, seed=job_seed))
         lat_write = runner.run(device, FioJob(rw="randwrite", total_ios=ios, seed=job_seed))

@@ -18,7 +18,13 @@ from .injectors import (
     register_injector,
 )
 from .plan import SCHEDULES, FaultEvent, FaultPlan, FaultSpec
-from .report import FaultTally, ResilienceReport, report_from_snapshot
+from .report import (
+    FaultTally,
+    ResilienceReport,
+    render_time_buckets,
+    report_from_snapshot,
+    time_buckets,
+)
 
 __all__ = [
     "FaultController",
@@ -35,5 +41,7 @@ __all__ = [
     "injector_names",
     "make_injector",
     "register_injector",
+    "render_time_buckets",
     "report_from_snapshot",
+    "time_buckets",
 ]

@@ -195,6 +195,19 @@ class FaultController:
                 outcome = injector.recover(now)
                 window.end_ps = now
                 self._record_recovery(self.plan.specs[window.index], window, outcome)
+        # publish the closed windows so the attribution artifact and the
+        # time-bucketed resilience view can line injections up with latency
+        trace = probe.session
+        if trace is not None and hasattr(trace, "fault_windows"):
+            for window in self.windows:
+                spec = self.plan.specs[window.index]
+                trace.fault_windows.append({
+                    "label": window.label,
+                    "injector": spec.injector,
+                    "target": spec.target,
+                    "start_ps": window.start_ps,
+                    "end_ps": window.end_ps if window.end_ps is not None else now,
+                })
         if self._tracker is not None:
             if self._tracker.fault_probe == self.fault_tags:
                 self._tracker.fault_probe = None

@@ -1,4 +1,4 @@
-"""Registered fault experiments: the BER sweep and the NVDIMM drill.
+"""Registered fault experiments: BER sweep, NVDIMM drill, storage drill.
 
 Both are ordinary campaign experiments (``run_*`` returning a
 :class:`~repro.core.results.ResultTable`) that drive a
@@ -261,5 +261,137 @@ def run_nvdimm_drill(lines: int = 16, seed: int = 0, faults=None) -> ResultTable
     table.add_note(
         "undersized supercap cannot complete the DRAM->flash save; contents "
         "are LOST and the restore comes back empty"
+    )
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Storage fault drill
+# ---------------------------------------------------------------------------
+
+
+def run_storage_drill(writes: int = 24, seed: int = 0, faults=None) -> ResultTable:
+    """GPFS-style writers under storage faults, against a clean baseline.
+
+    Three measured cases:
+
+    * ``wcache clean`` — the ConTutto MRAM write cache with no faults:
+      the baseline the fault rows are read against;
+    * ``ssd io_errors`` — a direct SSD store with forced IO failures
+      (bounded retry; exhausted retries surface a ``StorageError`` to
+      the workload as the completion value);
+    * ``wcache faulted`` — the same cache with the destager frozen for a
+      window and the backing HDD slowed, driving admission stalls.
+
+    The cache geometry is deliberately tiny (16 KiB segments, 4 of them,
+    threshold 2) so a handful of 4 KiB writes exercises destage
+    backpressure — the paths the strict-admission and wrap-split fixes
+    guard.  Each case attaches its devices as ``system.storage_devices``
+    so plan entries resolve; extra ``faults`` entries should use empty
+    targets (injectors filter by capability) since the device namespace
+    differs per case.
+    """
+    from ..storage import (  # local: keep the module import light
+        DirectStore,
+        HardDiskDrive,
+        NvWriteCache,
+        PmemBlockDevice,
+        SolidStateDrive,
+        WriteCacheConfig,
+    )
+    from ..workloads import GpfsJob, GpfsWriter
+
+    table = ResultTable(
+        "Storage fault drill: GPFS writers under injected storage faults",
+        ["Case", "Writes", "IOPS", "Mean lat (us)", "Errors", "Retries",
+         "Stalls", "Destages", "Faults"],
+    )
+    # default seed=0 preserves the historical GpfsJob stream (seed 99)
+    job = GpfsJob(total_writes=writes, seed=99 + seed)
+
+    def build_cache(label):
+        _scenario(f"storage:{label}:boot")
+        system = ContuttoSystem.build(
+            [CardSpec(slot=2, kind="centaur", capacity_per_dimm=1 * GIB),
+             CardSpec(slot=0, kind="contutto", memory="mram",
+                      capacity_per_dimm=128 * MIB)],
+            seed=seed,
+        )
+        log = PmemBlockDevice(system.pmem_region())
+        hdd = HardDiskDrive(system.sim, 4 * GIB)
+        cache = NvWriteCache(
+            system.sim, log, hdd,
+            WriteCacheConfig(segment_bytes=16 * 1024, segments=4,
+                             destage_threshold=2),
+        )
+        system.storage_devices = {"hdd": hdd, "log": log, "wcache": cache}
+        return system, log, hdd, cache
+
+    # -- wcache clean (no faults): the comparison baseline -----------------
+    system, log, hdd, cache = build_cache("wcache-clean")
+    _scenario("storage:wcache-clean")
+    result = GpfsWriter(system.sim).run(cache, job)
+    table.add_row(
+        "wcache clean", result.total_writes, f"{result.iops:.0f}",
+        f"{result.mean_latency_us:.1f}", result.errors,
+        log.io_retries + hdd.io_retries, cache.stalls, cache.destages, 0,
+    )
+
+    # -- direct SSD with forced IO failures --------------------------------
+    _scenario("storage:ssd:boot")
+    system = ContuttoSystem.build(
+        [CardSpec(slot=0, kind="contutto", capacity_per_dimm=256 * MIB)],
+        seed=seed,
+    )
+    ssd = SolidStateDrive(system.sim, 1 * GIB)
+    system.storage_devices = {"ssd": ssd}
+    # force exactly 2 IOs' worth of exhausted retries: deterministic
+    # error and retry counts independent of the stochastic rate
+    plan = _merge_plan("storage[ssd]", [FaultSpec(
+        "storage.io_errors", target="ssd", schedule="once", at_ps=0,
+        duration_ps=10**12,
+        params=(("rate", 0.0), ("force_failures", 6), ("max_retries", 2)),
+        label="ssd-io",
+    )], faults)
+    _scenario("storage:ssd")
+    controller = FaultController(system.sim, plan, seed=seed)
+    controller.install(system).start()
+    result = GpfsWriter(system.sim).run(DirectStore(ssd, name="ssd"), job)
+    report = controller.stop()
+    table.add_row(
+        "ssd io_errors", result.total_writes, f"{result.iops:.0f}",
+        f"{result.mean_latency_us:.1f}", result.errors, ssd.io_retries,
+        "-", "-", report.total("injected"),
+    )
+
+    # -- wcache with a frozen destager and a slow backing disk -------------
+    system, log, hdd, cache = build_cache("wcache-faulted")
+    plan = _merge_plan("storage[wcache]", [
+        FaultSpec(
+            "storage.destage_stall", target="wcache", schedule="once",
+            at_ps=us_to_ps(50), duration_ps=us_to_ps(400),
+            label="destage-stall",
+        ),
+        FaultSpec(
+            "storage.slow_disk", target="hdd", schedule="once", at_ps=0,
+            duration_ps=10**12, params=(("extra_us", 2000.0),),
+            label="slow-hdd",
+        ),
+    ], faults)
+    _scenario("storage:wcache-faulted")
+    controller = FaultController(system.sim, plan, seed=seed)
+    controller.install(system).start()
+    result = GpfsWriter(system.sim).run(cache, job)
+    report = controller.stop()
+    table.add_row(
+        "wcache faulted", result.total_writes, f"{result.iops:.0f}",
+        f"{result.mean_latency_us:.1f}", result.errors,
+        log.io_retries + hdd.io_retries, cache.stalls, cache.destages,
+        report.total("injected"),
+    )
+    table.add_note(
+        "tiny log geometry (4 x 16 KiB segments) makes destage backpressure "
+        "visible at drill scale; forced SSD failures exhaust the retry bound "
+        "deterministically"
     )
     return table

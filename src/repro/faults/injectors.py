@@ -19,7 +19,19 @@ behaviour — they drive the error paths the model already has:
                       or LOST on an undersized supercap); window end
                       restores power
 ``accel.engine_stall`` seize MBS command engines for the window
+``storage.io_errors`` install an :class:`IoFaultModel` on block devices:
+                      IO attempts fail (by rate or forced count) and are
+                      retried up to a bound before surfacing a
+                      ``StorageError``
+``storage.destage_stall`` freeze a write cache's destager for the window
+                      (the log fills and admission stalls)
+``storage.slow_disk`` add fixed extra latency to every IO of a device
 ==================== =====================================================
+
+Storage injectors resolve their targets through the system's
+``storage_devices`` attribute (a ``{name: device}`` dict the storage
+experiments attach); on a system without one they skip, so mixed plans
+run against both DMI-only and storage experiments.
 
 Each injector reports an *outcome string*: ``inject`` returns
 ``"injected"`` or ``"skipped"`` (no eligible target), ``recover`` returns
@@ -40,6 +52,7 @@ from ..memory.dram import DdrDram
 from ..memory.nvdimm import NvdimmN, NvdimmState
 from ..memory.scrubber import PatrolScrubber, ScrubConfig
 from ..sim import Rng, Simulator
+from ..storage.block import IoFaultModel
 from ..units import us_to_ps
 from .plan import FaultSpec
 
@@ -145,6 +158,29 @@ def _nvdimm_devices(slot) -> List[NvdimmN]:
         for port in getattr(slot.buffer, "ports", [])
         if isinstance(port.device, NvdimmN)
     ]
+
+
+def _storage_devices(system, target: str) -> List[Tuple[str, object]]:
+    """(name, device) pairs from the system's ``storage_devices`` dict.
+
+    Storage experiments attach their stack as ``system.storage_devices =
+    {"hdd": hdd, "ssd": ssd, ...}``.  A system without the attribute has
+    no storage targets — the injector *skips* instead of erroring, so one
+    plan can span DMI-only and storage experiments.  An empty target
+    selects every device (sorted by name for determinism); a non-empty
+    target must name one.
+    """
+    devices = getattr(system, "storage_devices", None)
+    if not devices:
+        return []
+    if target == "":
+        return sorted(devices.items())
+    if target not in devices:
+        raise ConfigurationError(
+            f"fault target {target!r} not a storage device "
+            f"(known: {', '.join(sorted(devices))})"
+        )
+    return [(target, devices[target])]
 
 
 # ---------------------------------------------------------------------------
@@ -434,4 +470,105 @@ class EngineStall(Injector):
         for pool, engine in self._held:
             pool.free(engine)
         self._held.clear()
+        return "recovered"
+
+
+# ---------------------------------------------------------------------------
+# Storage injectors
+# ---------------------------------------------------------------------------
+
+
+@register_injector("storage.io_errors")
+class StorageIoErrors(Injector):
+    """Install an :class:`IoFaultModel` on block devices for the window.
+
+    Attempts fail with probability ``rate`` (per-device forked RNG, so
+    runs are deterministic) or for the next ``force_failures`` attempts;
+    the device retries up to ``max_retries`` times before surfacing a
+    typed ``StorageError`` as the completion value.
+    """
+
+    def bind(self, system) -> None:
+        self.devices = [
+            device
+            for _, device in _storage_devices(system, self.spec.target)
+            if hasattr(device, "io_fault")
+        ]
+
+    def inject(self, now_ps: int) -> str:
+        if not self.devices:
+            return "skipped"
+        rate = float(self.spec.param("rate", 0.0))
+        force = int(self.spec.param("force_failures", 0))
+        retries = int(self.spec.param("max_retries", 2))
+        for i, device in enumerate(self.devices):
+            device.io_fault = IoFaultModel(
+                rate=rate, force_failures=force, max_retries=retries,
+                rng=self.rng.fork(f"io{i}"),
+            )
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        for device in self.devices:
+            device.io_fault = None
+        return "recovered"
+
+
+@register_injector("storage.destage_stall")
+class DestageStall(Injector):
+    """Freeze write-cache destaging for the window.
+
+    Staged writes keep landing in the NVM log; once it fills, admission
+    stalls — the exact backpressure path the Table 4 cache bounds.
+    Window end unfreezes the destager, which drains the backlog.
+    """
+
+    def bind(self, system) -> None:
+        self.caches = [
+            device
+            for _, device in _storage_devices(system, self.spec.target)
+            if hasattr(device, "freeze_destage")
+        ]
+
+    def inject(self, now_ps: int) -> str:
+        if not self.caches:
+            return "skipped"
+        for cache in self.caches:
+            cache.freeze_destage()
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        for cache in self.caches:
+            cache.unfreeze_destage()
+        return "recovered"
+
+
+@register_injector("storage.slow_disk")
+class SlowDisk(Injector):
+    """Add ``extra_us`` of latency to every IO of a device for the window."""
+
+    def bind(self, system) -> None:
+        self.devices = [
+            device
+            for _, device in _storage_devices(system, self.spec.target)
+            if hasattr(device, "slow_extra_ps")
+        ]
+        self._saved: Optional[List[int]] = None
+
+    def inject(self, now_ps: int) -> str:
+        if not self.devices:
+            return "skipped"
+        if self._saved is None:  # overlapping windows keep the first save
+            self._saved = [device.slow_extra_ps for device in self.devices]
+        extra = us_to_ps(float(self.spec.param("extra_us", 1000.0)))
+        for device in self.devices:
+            device.slow_extra_ps = extra
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        if self._saved is None:
+            return "noop"
+        for device, saved in zip(self.devices, self._saved):
+            device.slow_extra_ps = saved
+        self._saved = None
         return "recovered"

@@ -117,6 +117,98 @@ def _latency_delta_lines(breakdown) -> List[str]:
     return lines
 
 
+def time_buckets(
+    windows: List[Mapping], journeys: List[Mapping], buckets: int = 10
+) -> List[dict]:
+    """Bucket sim time so injections line up against the latency they cause.
+
+    ``windows`` are fault-window dicts (``TraceSession.fault_windows`` or
+    the artifact's ``fault_window`` records: label/injector/start_ps/
+    end_ps); ``journeys`` are journey records.  Time from the earliest
+    journey start (or window open) to the latest end is cut into
+    ``buckets`` equal slices; each row reports the windows that *opened*
+    in the slice, the windows *overlapping* it, and the journeys that
+    finished in it — split clean vs fault-affected, with mean latencies
+    in ps.  Returns [] when no journey completed.
+    """
+    done = [j for j in journeys if j.get("end_ps") is not None]
+    if not done or buckets < 1:
+        return []
+    t0 = min(j["start_ps"] for j in done)
+    t1 = max(j["end_ps"] for j in done)
+    for w in windows:
+        t0 = min(t0, w["start_ps"])
+        t1 = max(t1, w.get("end_ps") or w["start_ps"])
+    width = max(1, -(-(t1 - t0) // buckets))  # ceil: last bucket covers t1
+    rows = [
+        {
+            "bucket": b,
+            "start_ps": t0 + b * width,
+            "end_ps": t0 + (b + 1) * width,
+            "injections": 0,
+            "open_windows": 0,
+            "journeys": 0,
+            "fault_journeys": 0,
+            "clean_total_ps": 0,
+            "fault_total_ps": 0,
+        }
+        for b in range(buckets)
+    ]
+    for w in windows:
+        opened = min((w["start_ps"] - t0) // width, buckets - 1)
+        rows[opened]["injections"] += 1
+        end = w.get("end_ps") or w["start_ps"]
+        for row in rows:
+            if w["start_ps"] < row["end_ps"] and end >= row["start_ps"]:
+                row["open_windows"] += 1
+    for j in done:
+        row = rows[min((j["end_ps"] - t0) // width, buckets - 1)]
+        row["journeys"] += 1
+        latency = j["end_ps"] - j["start_ps"]
+        if j.get("faults"):
+            row["fault_journeys"] += 1
+            row["fault_total_ps"] += latency
+        else:
+            row["clean_total_ps"] += latency
+    for row in rows:
+        clean = row["journeys"] - row["fault_journeys"]
+        row["clean_mean_ps"] = row["clean_total_ps"] / clean if clean else 0.0
+        row["fault_mean_ps"] = (
+            row["fault_total_ps"] / row["fault_journeys"]
+            if row["fault_journeys"] else 0.0
+        )
+    return rows
+
+
+def render_time_buckets(rows: List[Mapping]) -> str:
+    """The time-bucketed injections-vs-latency view as fixed-width text."""
+    if not rows:
+        return ""
+    us = 1 / 1e6  # ps -> µs
+    lines = [
+        "  injections vs latency over sim time:",
+        "  {:>18}  {:>3}  {:>4}  {:>14}  {:>10}  {:>10}".format(
+            "bucket (us)", "inj", "open", "journeys(c/f)",
+            "clean (us)", "fault (us)",
+        ),
+    ]
+    lines.append("  " + "-" * (len(lines[-1]) - 2))
+    for row in rows:
+        clean = row["journeys"] - row["fault_journeys"]
+        lines.append(
+            "  {:>18}  {:>3}  {:>4}  {:>14}  {:>10}  {:>10}".format(
+                f"{row['start_ps'] * us:.0f}-{row['end_ps'] * us:.0f}",
+                row["injections"],
+                row["open_windows"],
+                f"{clean}/{row['fault_journeys']}",
+                f"{row['clean_mean_ps'] * us:.1f}" if clean else "-",
+                f"{row['fault_mean_ps'] * us:.1f}"
+                if row["fault_journeys"] else "-",
+            )
+        )
+    return "\n".join(lines)
+
+
 def report_from_snapshot(
     snapshot: Mapping[str, float], plan_name: str = "faults"
 ) -> Optional[ResilienceReport]:

@@ -55,7 +55,10 @@ class HostMemoryController:
                 trace.occupancy.maybe_sample(trace, issued_at)
             journeys = trace.journeys
             if journeys is not None:
-                jid = journeys.begin(opcode.value, addr, self.channel.name, issued_at)
+                # a line command issued inside a storage transfer becomes a
+                # *child* journey of it (separate ":lines" scenario lane)
+                jid = journeys.begin(opcode.value, addr, self.channel.name,
+                                     issued_at, parent=journeys.current())
 
         def with_tag(tag: int) -> None:
             if jid is not None:

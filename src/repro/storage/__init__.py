@@ -1,6 +1,6 @@
 """Storage stack: block devices, attach points, pmem/slram drivers, write cache."""
 
-from .block import DEFAULT_IO_BYTES, SECTOR_BYTES, BlockDevice
+from .block import DEFAULT_IO_BYTES, SECTOR_BYTES, BlockDevice, IoFaultModel
 from .hdd import HardDiskDrive, HddGeometry
 from .pcie import (
     FLASH_X4_PCIE,
@@ -21,6 +21,7 @@ __all__ = [
     "FLASH_X4_PCIE",
     "HardDiskDrive",
     "HddGeometry",
+    "IoFaultModel",
     "MRAM_PCIE",
     "NVRAM_PCIE",
     "NvWriteCache",

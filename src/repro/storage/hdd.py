@@ -58,15 +58,16 @@ class HardDiskDrive(BlockDevice):
         service += transfer_ps(nbytes, g.media_mb_s / 1_000)
         return service
 
-    def _do_io(self, offset: int, nbytes: int, complete) -> None:
+    def _do_io(self, offset: int, nbytes: int, complete) -> int:
         start = max(self.sim.now_ps, self._busy_until_ps)
         finish = start + self._service_time_ps(offset, nbytes)
         self._busy_until_ps = finish
         self._head_offset = offset + nbytes
         self.sim.call_at(finish, complete)
+        return start  # queueing ends when the head starts moving
 
-    def _schedule_read(self, offset: int, nbytes: int, complete) -> None:
-        self._do_io(offset, nbytes, complete)
+    def _schedule_read(self, offset: int, nbytes: int, complete) -> int:
+        return self._do_io(offset, nbytes, complete)
 
-    def _schedule_write(self, offset: int, nbytes: int, complete) -> None:
-        self._do_io(offset, nbytes, complete)
+    def _schedule_write(self, offset: int, nbytes: int, complete) -> int:
+        return self._do_io(offset, nbytes, complete)

@@ -65,7 +65,7 @@ class PcieAttachedStore(BlockDevice):
         self.profile = profile
         self._slot_free_ps = [0] * profile.parallelism
 
-    def _schedule(self, card_us: float, nbytes: int, complete) -> None:
+    def _schedule(self, card_us: float, nbytes: int, complete) -> int:
         p = self.profile
         overhead = us_to_ps(p.protocol_overhead_us)
         dma = transfer_ps(nbytes, p.link_gb_s)
@@ -74,11 +74,14 @@ class PcieAttachedStore(BlockDevice):
         finish = start + us_to_ps(card_us) + dma
         self._slot_free_ps[slot] = finish
         self.sim.call_at(finish, complete)
+        # service is consistently protocol + card + DMA; waiting for an
+        # internal slot (overlapped with the protocol path) is queueing
+        return max(self.sim.now_ps, start - overhead)
 
-    def _schedule_read(self, offset: int, nbytes: int, complete) -> None:
+    def _schedule_read(self, offset: int, nbytes: int, complete) -> int:
         pages = max(1, nbytes // 4096)
-        self._schedule(self.profile.card_read_us * pages, nbytes, complete)
+        return self._schedule(self.profile.card_read_us * pages, nbytes, complete)
 
-    def _schedule_write(self, offset: int, nbytes: int, complete) -> None:
+    def _schedule_write(self, offset: int, nbytes: int, complete) -> int:
         pages = max(1, nbytes // 4096)
-        self._schedule(self.profile.card_write_us * pages, nbytes, complete)
+        return self._schedule(self.profile.card_write_us * pages, nbytes, complete)

@@ -43,18 +43,21 @@ class SolidStateDrive(BlockDevice):
         self.profile = profile
         self._channel_free_ps = [0] * profile.channels
 
-    def _schedule(self, service_us: float, offset: int, complete) -> None:
+    def _schedule(self, service_us: float, offset: int, complete) -> int:
         channel = (offset // 4096) % self.profile.channels
         overhead = us_to_ps(self.profile.interface_overhead_us)
         start = max(self.sim.now_ps + overhead, self._channel_free_ps[channel])
         finish = start + us_to_ps(service_us)
         self._channel_free_ps[channel] = finish
         self.sim.call_at(finish, complete)
+        # service is consistently overhead + flash time; waiting for the
+        # internal channel (overlapped with the overhead) is queueing
+        return max(self.sim.now_ps, start - overhead)
 
-    def _schedule_read(self, offset: int, nbytes: int, complete) -> None:
+    def _schedule_read(self, offset: int, nbytes: int, complete) -> int:
         pages = max(1, nbytes // 4096)
-        self._schedule(self.profile.read_us * pages, offset, complete)
+        return self._schedule(self.profile.read_us * pages, offset, complete)
 
-    def _schedule_write(self, offset: int, nbytes: int, complete) -> None:
+    def _schedule_write(self, offset: int, nbytes: int, complete) -> int:
         pages = max(1, nbytes // 4096)
-        self._schedule(self.profile.write_us * pages, offset, complete)
+        return self._schedule(self.profile.write_us * pages, offset, complete)

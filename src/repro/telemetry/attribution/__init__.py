@@ -21,6 +21,7 @@ from .artifact import (
     ATTRIBUTION_SCHEMA,
     ATTRIBUTION_SCHEMA_VERSION,
     attribution_meta,
+    fault_window_records,
     journey_record,
     journey_records,
     merge_attribution,
@@ -58,6 +59,7 @@ __all__ = [
     "STAGE_ORDER",
     "StageVisit",
     "attribution_meta",
+    "fault_window_records",
     "journey_chrome_extras",
     "journey_record",
     "journey_records",

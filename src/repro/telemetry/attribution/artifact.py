@@ -12,6 +12,10 @@ Record stream (JSON Lines, one object per line):
     One per (scenario, stage): the aggregated statistics the breakdown
     computes — so a reader can grep headline numbers without re-folding
     every journey.
+``fault_window``
+    One per closed fault-injection window the session observed (label,
+    injector, bounds) — the raw material of the time-bucketed
+    injections-vs-latency view.
 
 Merging follows the :meth:`MetricsRegistry.merge_snapshots` philosophy:
 per-worker artifacts combine into one campaign artifact deterministically
@@ -58,6 +62,7 @@ def journey_record(journey: Journey) -> dict:
             for v in journey.stages
         ],
         **({"faults": list(journey.faults)} if journey.faults else {}),
+        **({"parent": journey.parent} if journey.parent is not None else {}),
     }
 
 
@@ -128,6 +133,12 @@ def session_attribution_records(session) -> List[dict]:
         )
     ]
     records.extend(journeys)
+    for window in getattr(session, "fault_windows", []) or []:
+        records.append({
+            "schema": ATTRIBUTION_SCHEMA,
+            "kind": "fault_window",
+            **window,
+        })
     records.extend(stage_summary_records(breakdown))
     return records
 
@@ -140,6 +151,11 @@ def read_attribution(path: str) -> List[dict]:
 def journey_records(records: Iterable[dict]) -> List[dict]:
     """The journey records of an artifact stream, in file order."""
     return [r for r in records if r.get("kind") == "journey"]
+
+
+def fault_window_records(records: Iterable[dict]) -> List[dict]:
+    """The fault-window records of an artifact stream, in file order."""
+    return [r for r in records if r.get("kind") == "fault_window"]
 
 
 def merge_attribution(

@@ -24,6 +24,16 @@ the recording site, not inferred afterwards.
 Journey ids cannot ride the DMI wire — frames pack to raw bytes — so the
 host side *binds* ``(channel name, tag)`` to the journey id at issue and
 the buffer side looks the binding up when it reassembles the command.
+
+Storage IOs are journeys too.  A block-layer transfer (FIO IO, GPFS
+write, write-cache destage) opens its own journey and the layers below
+stage into it through the tracker's *context stack*: the issuing layer
+``push()``-es its journey id around the downstream call, the lower layer
+stages into ``current()``.  The 128-byte line commands a pmem transfer
+fans out into still get their own DMI journeys — orders of magnitude
+shorter than the 4K transfer that spawned them — so they are *linked*
+(``parent``) rather than merged, and land in a ``:lines``-suffixed
+scenario lane to keep the two latency populations separate.
 """
 
 from __future__ import annotations
@@ -49,10 +59,20 @@ STAGE_ORDER = (
     "memory.queue",
     "memory.service",
     "dmi.up",
+    # storage-stack stages, in the order a GPFS/FIO transfer visits them
+    "gpfs.software",
+    "wcache.admit",
+    "storage.driver",
+    "storage.lines",
+    "storage.persist",
+    "storage.queue",
+    "storage.service",
+    "storage.io",
 )
 
 #: which canonical stages are queueing time
-QUEUE_STAGES = frozenset({"host.tag_wait", "memory.queue"})
+QUEUE_STAGES = frozenset({"host.tag_wait", "memory.queue",
+                          "wcache.admit", "storage.queue"})
 
 
 @dataclass
@@ -88,6 +108,9 @@ class Journey:
     cursor_ps: int = 0
     #: labels of fault windows this journey overlapped (empty = clean run)
     faults: Tuple[str, ...] = ()
+    #: journey id of the enclosing journey (a pmem 4K transfer spawns DMI
+    #: line journeys); None for top-level journeys
+    parent: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cursor_ps == 0:
@@ -121,6 +144,10 @@ class JourneyTracker:
         self.dropped = 0
         self._active: Dict[int, Journey] = {}
         self._bindings: Dict[Tuple[str, int], int] = {}
+        #: ambient journey-context stack: the storage layers push their
+        #: journey id around downstream calls so lower layers can stage
+        #: into (or parent under) the enclosing journey
+        self._context: List[Optional[int]] = []
         self._next_jid = 1
         #: when a FaultController is active it installs a callable
         #: ``(start_ps, end_ps) -> tuple[str, ...]`` here; journeys that
@@ -137,14 +164,35 @@ class JourneyTracker:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def begin(self, op: str, addr: int, channel: str, now_ps: int) -> Optional[int]:
-        """Open a journey; returns its id, or None when over the cap."""
+    def begin(
+        self,
+        op: str,
+        addr: int,
+        channel: str,
+        now_ps: int,
+        parent: Optional[int] = None,
+        lane: Optional[str] = None,
+    ) -> Optional[int]:
+        """Open a journey; returns its id, or None when over the cap.
+
+        ``parent`` links a spawned journey (a DMI line command inside a
+        pmem transfer) to its enclosing one.  ``lane`` suffixes the
+        scenario label so journeys of very different magnitudes aggregate
+        separately; parented journeys default to the ``lines`` lane.
+        """
         if len(self.completed) >= self.max_journeys:
             self.dropped += 1
             return None
+        if lane is None and parent is not None:
+            lane = "lines"
+        scenario = self.scenario
+        if lane:
+            scenario = f"{scenario}:{lane}" if scenario else lane
         jid = self._next_jid
         self._next_jid += 1
-        self._active[jid] = Journey(jid, op, addr, channel, self.scenario, now_ps)
+        self._active[jid] = Journey(
+            jid, op, addr, channel, scenario, now_ps, parent=parent
+        )
         return jid
 
     def finish(self, jid: int, now_ps: int) -> Optional[Journey]:
@@ -186,6 +234,23 @@ class JourneyTracker:
         if journey is None or end_ps <= start_ps:
             return
         journey.stages.append(StageVisit(stage, start_ps, end_ps, kind, nested=True))
+
+    # -- journey context (storage-stack nesting) ----------------------------
+
+    def push(self, jid: Optional[int]) -> None:
+        """Enter a journey context: downstream layers stage into — and
+        parent new journeys under — ``current()`` until the matching
+        :meth:`pop`.  Pushing ``None`` (journey refused over the cap) is
+        legal and keeps push/pop strictly paired."""
+        self._context.append(jid)
+
+    def pop(self) -> Optional[int]:
+        """Leave the innermost journey context."""
+        return self._context.pop() if self._context else None
+
+    def current(self) -> Optional[int]:
+        """The enclosing journey id, or None outside any context."""
+        return self._context[-1] if self._context else None
 
     # -- wire-boundary correlation ------------------------------------------
 

@@ -101,6 +101,11 @@ class TraceSession:
         self.occupancy: Optional[OccupancySampler] = (
             OccupancySampler(occupancy_period_ps) if occupancy_period_ps else None
         )
+        #: closed fault-injection windows (plain dicts: label, injector,
+        #: target, start_ps, end_ps), published by FaultController.stop()
+        #: so the attribution artifact and the time-bucketed resilience
+        #: view can line injections up against latency
+        self.fault_windows: List[dict] = []
         self._closed = False
 
     # -- context management -------------------------------------------------

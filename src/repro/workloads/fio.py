@@ -43,6 +43,9 @@ class FioResult:
     mean_latency_us: float
     p99_latency_us: float
     duration_us: float
+    #: IOs whose completion surfaced a StorageError (injected failures
+    #: past the device's retry bound); their latency still counts
+    errors: int = 0
 
 
 class FioRunner:
@@ -59,22 +62,42 @@ class FioRunner:
             raise StorageError("device smaller than one block")
 
         latencies_ps: List[int] = []
-        state = {"submitted": 0, "completed": 0}
+        state = {"submitted": 0, "completed": 0, "errors": 0}
         finished = Signal("fio.done")
         start_ps = self.sim.now_ps
+        device_name = getattr(device, "name", "storage")
 
         def submit_one() -> None:
             offset = rng.randint(0, blocks - 1) * job.block_bytes
             t0 = self.sim.now_ps
+            trace = probe.session
+            journeys = trace.journeys if trace is not None else None
+            jid = None
+            if journeys is not None:
+                jid = journeys.begin(f"fio.{job.rw}", offset, device_name, t0)
+                journeys.push(jid)
             if job.rw == "randread":
                 sig = device.submit_read(offset, job.block_bytes)
             else:
                 sig = device.submit_write(offset, job.block_bytes)
+            if journeys is not None:
+                journeys.pop()
             state["submitted"] += 1
-            sig.add_waiter(lambda _: complete(t0))
+            sig.add_waiter(lambda value: complete(t0, journeys, jid, value))
 
-        def complete(t0: int) -> None:
-            latencies_ps.append(self.sim.now_ps - t0)
+        def complete(t0: int, journeys, jid, value) -> None:
+            now = self.sim.now_ps
+            if isinstance(value, StorageError):
+                state["errors"] += 1
+                trace = probe.session
+                if trace is not None:
+                    trace.count("workload.fio_errors")
+            latencies_ps.append(now - t0)
+            if journeys is not None and jid is not None:
+                # catch-all for devices that do not stage themselves; a
+                # zero-length no-op when the device already covered the IO
+                journeys.stage_to(jid, "storage.io", now)
+                journeys.finish(jid, now)
             state["completed"] += 1
             if state["completed"] >= job.total_ios:
                 finished.trigger()
@@ -102,6 +125,7 @@ class FioRunner:
             mean_latency_us=sum(latencies_ps) / len(latencies_ps) / 1e6,
             p99_latency_us=p99 / 1e6,
             duration_us=duration_ps / 1e6,
+            errors=state["errors"],
         )
 
     def read_write_pair(self, device, iodepth: int = 1, total_ios: int = 64):

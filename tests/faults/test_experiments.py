@@ -1,13 +1,17 @@
-"""The registered fault experiments: BER sweep and NVDIMM power drill."""
+"""The registered fault experiments: BER sweep, NVDIMM drill, storage drill."""
 
 from repro.campaign import experiment_names, get_experiment
 from repro.faults import FaultPlan, FaultSpec
-from repro.faults.experiments import run_ber_sweep, run_nvdimm_drill
+from repro.faults.experiments import (
+    run_ber_sweep,
+    run_nvdimm_drill,
+    run_storage_drill,
+)
 
 
 class TestRegistration:
     def test_fault_experiments_registered_but_not_paper(self):
-        for name in ("ber_sweep", "nvdimm_drill"):
+        for name in ("ber_sweep", "nvdimm_drill", "storage_drill"):
             spec = get_experiment(name)
             assert spec.supports_faults
             assert not spec.paper  # must not disturb the paper campaign
@@ -65,4 +69,26 @@ class TestNvdimmDrill:
     def test_deterministic_given_seed(self):
         a = run_nvdimm_drill(lines=4, seed=1)
         b = run_nvdimm_drill(lines=4, seed=1)
+        assert a.rows == b.rows
+
+
+class TestStorageDrill:
+    def test_forced_failures_and_backpressure_show_in_rows(self):
+        # 24 writes = 6 log segments: enough to stall admission, so the
+        # frozen destager and slow disk actually reach the ack path
+        table = run_storage_drill(writes=24, seed=0)
+        by_case = {r[0]: r for r in table.rows}
+        ssd = by_case["ssd io_errors"]
+        # 6 forced failures = 2 IOs' retry bounds exhausted (2 retries each)
+        assert ssd[4] == 2 and ssd[5] == 4
+        assert ssd[8] == 1  # one io_errors injection
+        clean, faulted = by_case["wcache clean"], by_case["wcache faulted"]
+        assert clean[4] == 0 and clean[8] == 0
+        assert faulted[8] == 2  # destage stall + slow disk both injected
+        # a frozen destager and a slow disk must cost latency
+        assert float(faulted[3]) > float(clean[3])
+
+    def test_deterministic_given_seed(self):
+        a = run_storage_drill(writes=12, seed=0)
+        b = run_storage_drill(writes=12, seed=0)
         assert a.rows == b.rows

@@ -23,6 +23,9 @@ ALL_INJECTORS = [
     "memory.bit_flips",
     "memory.scrub_storm",
     "nvdimm.power_loss",
+    "storage.destage_stall",
+    "storage.io_errors",
+    "storage.slow_disk",
 ]
 
 

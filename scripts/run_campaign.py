@@ -109,6 +109,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         help="re-attempts per failing job (with exponential backoff)",
     )
     parser.add_argument(
+        "--fold-attribution", action="store_true",
+        help="merge per-worker stage summaries instead of retaining every "
+             "journey record (bounded memory for very large sweeps; folded "
+             "percentiles are weighted approximations)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true",
         help="also print every table to stdout",
     )
@@ -147,6 +153,7 @@ def main(argv=None) -> int:
         timeout_s=args.timeout,
         retries=args.retries,
         base_seed=matrix.base_seed,
+        attribution_mode="summary" if args.fold_attribution else "journeys",
     )
     report = runner.run()
 

@@ -57,6 +57,10 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--out", default=None, metavar="DIR",
         help="also write metrics.jsonl / attribution.jsonl per experiment",
     )
+    parser.add_argument(
+        "--buckets", type=int, default=10, metavar="N",
+        help="time slices in the injections-vs-latency view (default 10)",
+    )
     return parser.parse_args(argv)
 
 
@@ -111,7 +115,9 @@ def main(argv=None) -> int:
             windows = getattr(session, "fault_windows", None)
             if windows and journeys is not None:
                 rows = time_buckets(
-                    windows, [journey_record(j) for j in journeys.completed]
+                    windows,
+                    [journey_record(j) for j in journeys.completed],
+                    buckets=args.buckets,
                 )
                 if rows:
                     print()

@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Run the simulated stack as an open-loop service and emit a run table.
+
+A schedule file describes offered load over time (see docs/service.md):
+
+    python scripts/run_service.py --schedule schedules/flashcrowd.json
+    python scripts/run_service.py --schedule s.json --shards 4 --repetitions 3
+    python scripts/run_service.py --schedule s.json --faults plan.json
+
+Each (repetition, shard) runs as a campaign job — cached, retried,
+manifest-journaled like any sweep — then the parent merges the shard
+demand tables, replays the bounded-queue service loop over the globally
+ordered stream, and writes to ``--out``:
+
+* ``run_table.csv``    — one row per (run, repetition, window);
+* ``run_table.jsonl``  — the same grid as ``repro.service/v1`` records;
+* ``metrics.jsonl``    — merged telemetry of every executed job;
+* ``attribution.jsonl``— merged latency attribution of the calibrations;
+* ``manifest.jsonl``   — the campaign job journal.
+
+The run table never depends on ``--shards``: the same schedule and seed
+reproduce it byte for byte at any shard count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.campaign import CampaignJob, CampaignRunner, ResultCache
+from repro.errors import ConfigurationError, ReproError
+from repro.faults import FaultPlan
+from repro.service import (
+    ArrivalSchedule,
+    demand_stream,
+    generate_arrivals,
+    merge_shard_demands,
+    render_summary,
+    rep_seed,
+    run_service,
+    window_rows,
+    write_run_table,
+)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--schedule", required=True, metavar="FILE",
+        help="arrival-schedule JSON (docs/service.md)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="campaign workers the demand stream splits across",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=1, metavar="N",
+        help="independent repetitions (distinct derived seeds)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; repetition seeds derive from it",
+    )
+    parser.add_argument(
+        "--calib-samples", type=int, default=24, metavar="N",
+        help="sim operations per request-class calibration",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="FILE",
+        help="fault plan JSON installed during memory-class calibration "
+             "(see docs/faults.md)",
+    )
+    parser.add_argument(
+        "--out", default="service-out", metavar="DIR",
+        help="output directory for run_table.csv and friends",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".campaign-cache", metavar="DIR",
+        help="content-addressed result cache location",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always run every shard job; don't read or write the cache",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-job wall-clock limit in seconds",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    try:
+        schedule = ArrivalSchedule.from_json(
+            Path(args.schedule).read_text(encoding="utf-8")
+        )
+    except (OSError, ConfigurationError) as exc:
+        print(f"schedule: {exc}", file=sys.stderr)
+        return 2
+    if args.shards < 1 or args.repetitions < 1:
+        print("--shards and --repetitions must be >= 1", file=sys.stderr)
+        return 2
+
+    kwargs_base = {
+        "schedule": schedule.to_json(),
+        "shards": args.shards,
+        "calib_samples": args.calib_samples,
+    }
+    if args.faults:
+        try:
+            plan = FaultPlan.from_json(
+                Path(args.faults).read_text(encoding="utf-8")
+            )
+        except (OSError, ConfigurationError) as exc:
+            print(f"fault plan: {exc}", file=sys.stderr)
+            return 2
+        kwargs_base["faults"] = plan.to_json()
+
+    jobs = [
+        CampaignJob.make(
+            "service_shard",
+            {**kwargs_base, "repetition": rep, "shard": shard},
+            seed=args.seed,
+        )
+        for rep in range(args.repetitions)
+        for shard in range(args.shards)
+    ]
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    runner = CampaignRunner(
+        jobs,
+        workers=args.shards,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        manifest_path=str(out_dir / "manifest.jsonl"),
+        timeout_s=args.timeout,
+        base_seed=args.seed,
+    )
+    report = runner.run()
+    if report.failed:
+        for outcome in report.failed:
+            print(f"FAILED {outcome.job.job_id}: {outcome.error}",
+                  file=sys.stderr)
+        return 1
+
+    by_rep = {}
+    for outcome in report.outcomes:
+        kwargs = outcome.job.kwargs_dict
+        by_rep.setdefault(kwargs["repetition"], []).append(outcome.tables()[0])
+
+    rows = []
+    try:
+        for rep in sorted(by_rep):
+            arrivals = generate_arrivals(schedule, rep_seed(args.seed, rep))
+            demands = merge_shard_demands(by_rep[rep])
+            outcomes = run_service(schedule, demand_stream(arrivals, demands))
+            rows.extend(window_rows(schedule, rep, outcomes))
+    except ReproError as exc:
+        print(f"merge: {exc}", file=sys.stderr)
+        return 1
+
+    write_run_table(
+        str(out_dir / "run_table.csv"), str(out_dir / "run_table.jsonl"),
+        schedule, args.seed, args.repetitions, rows,
+    )
+    report.write_telemetry(
+        str(out_dir / "metrics.jsonl"),
+        params={"schedule": schedule.name, "seed": args.seed,
+                "shards": args.shards, "repetitions": args.repetitions},
+    )
+    report.write_attribution(str(out_dir / "attribution.jsonl"),
+                             name=f"service:{schedule.name}")
+
+    print(render_summary(schedule, rows))
+    print(f"campaign: {report.summary()}", file=sys.stderr)
+    print(f"wrote {out_dir / 'run_table.csv'}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional
 from ..errors import AccelError
 from ..sim import ClockDomain, Process, Signal, Simulator, fabric_clock
 from ..telemetry import probe
+from ..telemetry.attribution import QUEUE
 from .isa import NUM_REGISTERS, Instruction, Op
 
 #: burst size for DMA block transfers: one DRAM row
@@ -278,8 +279,25 @@ class AccessProcessor:
         self._port_next_issue_ps[port_no] = start + interval
         return start - self.sim.now_ps
 
+    def _begin_dma_journey(self, op: str, addr: int):
+        """Open an ``accel.<op>`` journey for one DMA stream (or no-op).
+
+        The stream's time partitions exactly into ``accel.pace`` (waiting
+        for a port's next burst-issue slot — queueing) and ``accel.dma``
+        (bursts in flight — service): the generator stamps ``accel.dma``
+        up to each pacing gap and ``accel.pace`` across it, so the stage
+        sums reproduce the end-to-end DMA latency with zero residual.
+        """
+        trace = probe.session
+        journeys = trace.journeys if trace is not None else None
+        if journeys is None:
+            return None, None
+        jid = journeys.begin(f"accel.{op}", addr, self.name, self.sim.now_ps)
+        return journeys, jid
+
     def _dma_read(self, addr: int, length: int):
         """Row-burst streaming read across both ports with overlap."""
+        journeys, jid = self._begin_dma_journey("dmard", addr)
         chunks: List[Signal] = []
         results: List[Signal] = []
         pos = 0
@@ -287,8 +305,16 @@ class AccessProcessor:
             take = min(DMA_CHUNK_BYTES - (addr + pos) % DMA_CHUNK_BYTES, length - pos)
             gap = self._pace_port(addr + pos, take)
             if gap > 0:
+                if jid is not None:
+                    journeys.stage_to(jid, "accel.dma", self.sim.now_ps)
                 yield gap
+                if jid is not None:
+                    journeys.stage_to(jid, "accel.pace", self.sim.now_ps, QUEUE)
             port = self._port_for(addr + pos)
+            # no nested controller spans: concurrent in-flight bursts
+            # overlap, so per-chunk memory visits cannot be carved out of
+            # the stream exclusively — the top-level pace/dma partition
+            # is the meaningful accounting here
             sig = port.submit_read(self._local(addr + pos), take)
             results.append(sig)
             chunks.append(sig)
@@ -300,16 +326,24 @@ class AccessProcessor:
         for sig in chunks:
             if not sig.triggered:
                 yield from self._wait(sig)
+        if jid is not None:
+            journeys.stage_to(jid, "accel.dma", self.sim.now_ps)
+            journeys.finish(jid, self.sim.now_ps)
         return b"".join(sig.value for sig in results)
 
     def _dma_write(self, addr: int, data: bytes):
+        journeys, jid = self._begin_dma_journey("dmawr", addr)
         chunks: List[Signal] = []
         pos = 0
         while pos < len(data):
             take = min(DMA_CHUNK_BYTES - (addr + pos) % DMA_CHUNK_BYTES, len(data) - pos)
             gap = self._pace_port(addr + pos, take)
             if gap > 0:
+                if jid is not None:
+                    journeys.stage_to(jid, "accel.dma", self.sim.now_ps)
                 yield gap
+                if jid is not None:
+                    journeys.stage_to(jid, "accel.pace", self.sim.now_ps, QUEUE)
             port = self._port_for(addr + pos)
             sig = port.submit_write(self._local(addr + pos), data[pos : pos + take])
             chunks.append(sig)
@@ -321,6 +355,9 @@ class AccessProcessor:
         for sig in chunks:
             if not sig.triggered:
                 yield from self._wait(sig)
+        if jid is not None:
+            journeys.stage_to(jid, "accel.dma", self.sim.now_ps)
+            journeys.finish(jid, self.sim.now_ps)
 
     # -- public DMA services for block accelerators ----------------------------------------
 

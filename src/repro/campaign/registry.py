@@ -36,6 +36,7 @@ from ..faults.experiments import (
     run_nvdimm_drill,
     run_storage_drill,
 )
+from ..service.shard import run_service_shard
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,15 @@ _SPECS: List[ExperimentSpec] = [
                    paper=False, supports_faults=True),
     ExperimentSpec("storage_drill", run_storage_drill, {"writes": 24},
                    paper=False, supports_faults=True),
+    # service-mode shard worker (docs/service.md) — scheduled by
+    # scripts/run_service.py, one job per (repetition, shard); hidden
+    # because a lone shard is half a result (the merge computes queueing)
+    ExperimentSpec(
+        "service_shard", run_service_shard,
+        {"schedule": "", "shard": 0, "shards": 1, "repetition": 0,
+         "calib_samples": 24},
+        hidden=True, paper=False, supports_faults=True,
+    ),
 ]
 
 #: aliases: the fio matrix renders both Figure 9 and Figure 10

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 from ..telemetry import (
     MetricsRegistry,
+    fold_stage_summaries,
     merge_attribution,
     meta_record,
     result_record,
@@ -62,6 +63,9 @@ class JobOutcome:
     result: object = None            # ResultTable or tuple of ResultTables
     metrics: Dict[str, float] = field(default_factory=dict)
     attribution: List[dict] = field(default_factory=list)  # journey records
+    #: per-worker stage_summary/end_to_end records (summary mode only);
+    #: O(scenarios × stages) however many journeys the job completed
+    attribution_summaries: List[dict] = field(default_factory=list)
     error: Optional[str] = None
     traceback: Optional[str] = None
 
@@ -138,7 +142,18 @@ class CampaignReport:
         recomputed over the union — deterministic for any worker count or
         completion order.  Cache/resume hits carry no journeys (the job
         never ran), so only executed jobs contribute.
+
+        Campaigns run in summary attribution mode carry per-worker
+        ``stage_summary`` records instead of journeys; those fold via
+        :func:`fold_stage_summaries`, keeping the merge memory bounded.
         """
+        folded = [
+            (f"job:{o.job.job_id}", o.attribution_summaries)
+            for o in self.outcomes
+            if o.attribution_summaries
+        ]
+        if folded and not any(o.attribution for o in self.outcomes):
+            return write_jsonl(path, fold_stage_summaries(folded, name=name))
         sources = [
             (f"job:{o.job.job_id}", o.attribution)
             for o in self.outcomes
@@ -161,6 +176,7 @@ class CampaignRunner:
         retries: int = 1,
         backoff_s: float = 0.25,
         base_seed: int = 0,
+        attribution_mode: str = "journeys",
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -168,6 +184,8 @@ class CampaignRunner:
             raise ValueError("retries must be >= 0")
         if resume and cache is None:
             raise ValueError("resume requires a result cache to replay from")
+        if attribution_mode not in ("journeys", "summary"):
+            raise ValueError("attribution_mode must be 'journeys' or 'summary'")
         self.jobs = list(jobs)
         self.workers = workers
         self.cache = cache
@@ -177,6 +195,10 @@ class CampaignRunner:
         self.retries = retries
         self.backoff_s = backoff_s
         self.base_seed = base_seed
+        #: "journeys" ships every journey record back for an exact merge;
+        #: "summary" reduces them in-worker (bounded merge memory, folded
+        #: percentiles — see ``fold_stage_summaries``)
+        self.attribution_mode = attribution_mode
 
     # -- execution ----------------------------------------------------------
 
@@ -242,7 +264,9 @@ class CampaignRunner:
             attempt = 0
             while True:
                 attempt += 1
-                raw = execute_job((job.experiment, job.kwargs, job.seed))
+                raw = execute_job(
+                    (job.experiment, job.kwargs, job.seed, self.attribution_mode)
+                )
                 if raw["status"] == "ok" or attempt > self.retries:
                     break
                 time.sleep(self._backoff(attempt))
@@ -266,7 +290,9 @@ class CampaignRunner:
                 for job, attempt, not_before in queue:
                     if now >= not_before:
                         future = pool.submit(
-                            execute_job, (job.experiment, job.kwargs, job.seed)
+                            execute_job,
+                            (job.experiment, job.kwargs, job.seed,
+                             self.attribution_mode),
                         )
                         deadline = now + self.timeout_s if self.timeout_s else None
                         pending[future] = (job, attempt, deadline)
@@ -341,6 +367,7 @@ class CampaignRunner:
                 duration_s=raw["duration_s"], result=raw["result"],
                 metrics=raw.get("metrics", {}),
                 attribution=raw.get("attribution", []),
+                attribution_summaries=raw.get("attribution_summaries", []),
             )
             if self.cache is not None:
                 self.cache.put(job, raw["result"])

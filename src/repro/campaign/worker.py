@@ -18,6 +18,7 @@ import traceback
 from typing import Dict, List, Tuple
 
 from ..telemetry import TraceSession, journey_record
+from ..telemetry.attribution import stage_summary_records
 from .matrix import CampaignJob
 from .registry import get_experiment
 
@@ -31,10 +32,16 @@ def run_experiment(job: CampaignJob):
 def execute_job(payload: Tuple[str, tuple, int]) -> Dict[str, object]:
     """Pool entry point: run one job, never raise.
 
-    ``payload`` is ``(experiment, kwargs_pairs, seed)`` rather than a
-    :class:`CampaignJob` so the pickled message stays a plain tuple.
+    ``payload`` is ``(experiment, kwargs_pairs, seed)`` — rather than a
+    :class:`CampaignJob` — so the pickled message stays a plain tuple.  An
+    optional fourth element selects the attribution mode: ``"journeys"``
+    (default — every journey record crosses back for an exact merge) or
+    ``"summary"`` (the journeys are reduced to ``stage_summary`` records
+    in-worker, so neither the pickle payload nor the parent's merge grows
+    with journey count — the bounded-memory path for very large sweeps).
     """
-    job = CampaignJob(*payload)
+    job = CampaignJob(*payload[:3])
+    mode = payload[3] if len(payload) > 3 else "journeys"
     t0 = time.perf_counter()
     try:
         # traces are capped low: a campaign wants metrics, not span dumps
@@ -43,15 +50,22 @@ def execute_job(payload: Tuple[str, tuple, int]) -> Dict[str, object]:
         with TraceSession(f"campaign:{job.job_id}", max_events=0) as session:
             result = run_experiment(job)
         journeys = session.journeys
+        if mode == "summary":
+            attribution: List[dict] = []
+            summaries = stage_summary_records(session.breakdown())
+        else:
+            attribution = (
+                [journey_record(j) for j in journeys.completed]
+                if journeys is not None else []
+            )
+            summaries = []
         return {
             "status": "ok",
             "job_id": job.job_id,
             "result": result,
             "metrics": session.registry.snapshot(),
-            "attribution": (
-                [journey_record(j) for j in journeys.completed]
-                if journeys is not None else []
-            ),
+            "attribution": attribution,
+            "attribution_summaries": summaries,
             "duration_s": time.perf_counter() - t0,
         }
     except BaseException as exc:  # noqa: BLE001 — the whole point is containment

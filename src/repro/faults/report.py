@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from ..telemetry.buckets import bucket_of, slice_width, sparkline
+
 #: recovery outcomes a tally tracks (injections and skips are separate)
 OUTCOMES = ("recovered", "failed", "lost")
 
@@ -139,7 +141,7 @@ def time_buckets(
     for w in windows:
         t0 = min(t0, w["start_ps"])
         t1 = max(t1, w.get("end_ps") or w["start_ps"])
-    width = max(1, -(-(t1 - t0) // buckets))  # ceil: last bucket covers t1
+    width = slice_width(t0, t1, buckets)
     rows = [
         {
             "bucket": b,
@@ -155,14 +157,14 @@ def time_buckets(
         for b in range(buckets)
     ]
     for w in windows:
-        opened = min((w["start_ps"] - t0) // width, buckets - 1)
+        opened = bucket_of(w["start_ps"], t0, width, buckets)
         rows[opened]["injections"] += 1
         end = w.get("end_ps") or w["start_ps"]
         for row in rows:
             if w["start_ps"] < row["end_ps"] and end >= row["start_ps"]:
                 row["open_windows"] += 1
     for j in done:
-        row = rows[min((j["end_ps"] - t0) // width, buckets - 1)]
+        row = rows[bucket_of(j["end_ps"], t0, width, buckets)]
         row["journeys"] += 1
         latency = j["end_ps"] - j["start_ps"]
         if j.get("faults"):
@@ -206,6 +208,14 @@ def render_time_buckets(rows: List[Mapping]) -> str:
                 if row["fault_journeys"] else "-",
             )
         )
+    # trend lines: one glyph per bucket, shared zero baseline so the
+    # injection spikes line up visually against the latency they cause
+    lines += [
+        "",
+        "  injections  " + sparkline([r["injections"] for r in rows]),
+        "  fault mean  " + sparkline([r["fault_mean_ps"] for r in rows]),
+        "  clean mean  " + sparkline([r["clean_mean_ps"] for r in rows]),
+    ]
     return "\n".join(lines)
 
 

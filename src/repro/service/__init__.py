@@ -1,0 +1,90 @@
+"""Twin-as-a-service: the simulated stack behind an open-loop load front.
+
+The rest of the repo measures the memory subsystem one experiment at a
+time.  This package runs it like an operator would run a fleet: a
+declarative **arrival schedule** (diurnal ramps, flash crowds,
+multi-tenant mixes) generates an open-loop request stream; **request
+classes** calibrate what each operation costs by actually running it in
+the simulator; a deterministic **service loop** admits arrivals through
+a bounded queue onto ``c`` servers, shedding what will not fit; and a
+**run table** reports offered vs achieved throughput, latency
+percentiles, shed rate, and occupancy per time window.
+
+Execution shards across campaign workers (one job per repetition ×
+shard) and merges exactly — the same schedule and seed produce
+byte-identical run tables for any shard count.  ``scripts/
+run_service.py`` is the CLI; the format and column reference live in
+``docs/service.md``.
+"""
+
+from .classes import (
+    REQUEST_CLASSES,
+    SYSTEM_CLASSES,
+    ServiceProfile,
+    calibrate,
+)
+from .loop import (
+    OUTCOME_STATUSES,
+    RequestOutcome,
+    ServiceLoop,
+    run_service,
+)
+from .schedule import (
+    PHASE_KINDS,
+    PS_PER_MS,
+    SERVICE_SCHEMA,
+    Arrival,
+    ArrivalSchedule,
+    Phase,
+    Tenant,
+    generate_arrivals,
+)
+from .shard import (
+    SHARD_COLUMNS,
+    calibrate_classes,
+    draw_demand,
+    rep_seed,
+    run_service_shard,
+)
+from .table import (
+    RUN_TABLE_COLUMNS,
+    demand_stream,
+    merge_shard_demands,
+    render_run_table_csv,
+    render_summary,
+    run_table_records,
+    window_rows,
+    write_run_table,
+)
+
+__all__ = [
+    "Arrival",
+    "ArrivalSchedule",
+    "OUTCOME_STATUSES",
+    "PHASE_KINDS",
+    "PS_PER_MS",
+    "Phase",
+    "REQUEST_CLASSES",
+    "RUN_TABLE_COLUMNS",
+    "RequestOutcome",
+    "SERVICE_SCHEMA",
+    "SHARD_COLUMNS",
+    "SYSTEM_CLASSES",
+    "ServiceLoop",
+    "ServiceProfile",
+    "Tenant",
+    "calibrate",
+    "calibrate_classes",
+    "demand_stream",
+    "draw_demand",
+    "generate_arrivals",
+    "merge_shard_demands",
+    "render_run_table_csv",
+    "render_summary",
+    "rep_seed",
+    "run_service",
+    "run_service_shard",
+    "run_table_records",
+    "window_rows",
+    "write_run_table",
+]

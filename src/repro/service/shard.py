@@ -1,0 +1,115 @@
+"""The sharded service worker: one slice of one repetition's demand.
+
+A service run fans out as campaign jobs, one per ``(repetition, shard)``.
+Each shard worker:
+
+1. regenerates the repetition's **full** arrival stream (a pure function
+   of schedule + repetition seed — cheap, and it keeps global request
+   indices identical on every shard);
+2. calibrates the request classes its slice needs, with seeds derived
+   from ``(repetition seed, class name)`` only — so profiles are
+   byte-identical across shards and shard counts;
+3. draws every assigned request's service demand from its class profile
+   with a per-request rng seeded by the **global** request index.
+
+The worker returns demands, not outcomes: queueing couples every request
+to every other, so the bounded-queue service loop runs once at merge
+time over the globally ordered stream (:mod:`repro.service.loop`).
+Shard assignment is round-robin on the global index (``index % shards``),
+which spreads hot windows evenly across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.results import ResultTable
+from ..errors import ConfigurationError
+from ..faults import FaultPlan
+from ..sim.rng import Rng, derive_seed
+from .classes import ServiceProfile, calibrate
+from .schedule import Arrival, ArrivalSchedule, generate_arrivals
+
+#: columns of the shard demand table (the campaign-visible result)
+SHARD_COLUMNS = ["index", "tenant", "class", "service_ps", "ok"]
+
+
+def rep_seed(seed: int, repetition: int) -> int:
+    """The seed one repetition's arrivals and calibrations derive from."""
+    return derive_seed(seed, f"rep{repetition}")
+
+
+def draw_demand(
+    arrival: Arrival, profile: ServiceProfile, repetition_seed: int
+) -> Tuple[int, bool]:
+    """One request's total service demand: ``ops`` profile draws.
+
+    Seeded by the global request index, so the demand of request *i* is
+    the same no matter which shard draws it.
+    """
+    rng = Rng(derive_seed(repetition_seed, f"req{arrival.index}"), "svc.req")
+    total_ps = 0
+    ok = True
+    for _ in range(arrival.ops):
+        service_ps, op_ok = profile.draw(rng)
+        total_ps += service_ps
+        ok = ok and op_ok
+    return total_ps, ok
+
+
+def calibrate_classes(
+    classes, samples: int, repetition_seed: int, plan: Optional[FaultPlan]
+) -> Dict[str, ServiceProfile]:
+    """Profiles for ``classes``, each seeded by (repetition, class) only."""
+    return {
+        klass: calibrate(
+            klass, samples, derive_seed(repetition_seed, f"class.{klass}"), plan
+        )
+        for klass in sorted(set(classes))
+    }
+
+
+def run_service_shard(
+    schedule: str = "",
+    shard: int = 0,
+    shards: int = 1,
+    repetition: int = 0,
+    calib_samples: int = 24,
+    faults: Optional[str] = None,
+    seed: int = 0,
+) -> ResultTable:
+    """Campaign experiment: demands of one shard of one repetition.
+
+    ``schedule`` is the canonical schedule JSON (it rides in job kwargs
+    so the result cache keys on schedule content).  Returns a
+    :class:`ResultTable` with one row per assigned request — plain data,
+    so it pickles across the pool boundary and caches like any other
+    experiment result.
+    """
+    if shards < 1 or not 0 <= shard < shards:
+        raise ConfigurationError(
+            f"bad shard assignment {shard}/{shards} (need 0 <= shard < shards)"
+        )
+    sched = ArrivalSchedule.load(schedule)
+    plan = FaultPlan.from_json(faults) if faults else None
+    repetition_seed = rep_seed(seed, repetition)
+
+    arrivals = generate_arrivals(sched, repetition_seed)
+    mine: List[Arrival] = [a for a in arrivals if a.index % shards == shard]
+    profiles = calibrate_classes(
+        (a.klass for a in mine), calib_samples, repetition_seed, plan
+    )
+
+    table = ResultTable(
+        f"service {sched.name} rep={repetition} shard={shard}/{shards}",
+        list(SHARD_COLUMNS),
+    )
+    for arrival in mine:
+        service_ps, ok = draw_demand(arrival, profiles[arrival.klass], repetition_seed)
+        table.add_row(arrival.index, arrival.tenant, arrival.klass,
+                      service_ps, int(ok))
+    table.add_note(
+        f"{len(mine)}/{len(arrivals)} requests; "
+        f"classes: {', '.join(sorted(profiles))}"
+    )
+    return table

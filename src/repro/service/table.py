@@ -1,0 +1,262 @@
+"""Run-table artifacts: the service twin's per-window scorecard.
+
+One service run produces two artifacts describing the same grid — a
+``run_table.csv`` for spreadsheets and plotting, and a
+``repro.service/v1`` JSONL for tooling — with **one row per
+(run, repetition, window)**.  Every row answers the capacity question
+directly: what was offered, what was achieved, what was shed, and what
+did admitted requests pay in queue delay and end-to-end latency.
+
+Shard invariance is a schema property, not an accident: neither artifact
+records the shard count, and every value in a row is computed from the
+globally merged demand stream.  Rerunning the same schedule and seed
+with any ``--shards`` must reproduce both files byte for byte — CI
+asserts exactly that.
+
+Column reference lives in ``docs/service.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..telemetry import bucket_of, sparkline
+from .loop import RequestOutcome
+from .schedule import PS_PER_MS, Arrival, ArrivalSchedule, SERVICE_SCHEMA
+
+#: CSV header, in emission order
+RUN_TABLE_COLUMNS = [
+    "run",
+    "repetition",
+    "window",
+    "window_start_ms",
+    "window_end_ms",
+    "offered",
+    "offered_rps",
+    "admitted",
+    "completed",
+    "achieved_rps",
+    "shed",
+    "shed_rate",
+    "failed",
+    "failure_rate",
+    "queue_delay_mean_ms",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "occupancy_mean",
+]
+
+
+def _percentile(ordered: Sequence[int], q: float) -> int:
+    """Nearest-rank percentile of an ascending sequence (0 when empty)."""
+    if not ordered:
+        return 0
+    rank = max(1, -(-int(q * len(ordered) * 100) // 100))  # ceil without floats
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def merge_shard_demands(tables) -> Dict[int, Tuple[int, bool]]:
+    """Fold shard demand tables into ``{global index: (service_ps, ok)}``.
+
+    Accepts the tables in any order and validates that the shards
+    together cover a contiguous, non-overlapping index range — a torn
+    merge (missing or duplicated shard) fails loudly instead of
+    producing a quietly wrong run table.
+    """
+    demands: Dict[int, Tuple[int, bool]] = {}
+    for table in tables:
+        for row in table.rows:
+            index = int(row[0])
+            if index in demands:
+                raise ConfigurationError(
+                    f"duplicate request index {index} across shards"
+                )
+            demands[index] = (int(row[3]), bool(row[4]))
+    if demands and sorted(demands) != list(range(len(demands))):
+        raise ConfigurationError(
+            "shard demand tables do not cover a contiguous index range"
+        )
+    return demands
+
+
+def demand_stream(
+    arrivals: Sequence[Arrival], demands: Dict[int, Tuple[int, bool]]
+) -> Iterable[Tuple[Arrival, int, bool]]:
+    """Join arrivals with merged demands, in global arrival order."""
+    if len(demands) != len(arrivals):
+        raise ConfigurationError(
+            f"merged demands cover {len(demands)} requests, "
+            f"schedule generated {len(arrivals)}"
+        )
+    for arrival in arrivals:
+        service_ps, ok = demands[arrival.index]
+        yield arrival, service_ps, ok
+
+
+def window_rows(
+    schedule: ArrivalSchedule,
+    repetition: int,
+    outcomes: Sequence[RequestOutcome],
+) -> List[dict]:
+    """The run-table rows of one repetition.
+
+    Arrival-side counts (offered/admitted/shed, queue delay) bin by
+    arrival time; completion-side stats (completed, achieved rate,
+    latency percentiles) bin by completion time, with completions
+    draining after the schedule ends clamped into the last window.
+    Occupancy is busy-server-time inside the window over window
+    capacity, so a saturated window reads 1.0.
+    """
+    nwin = schedule.windows()
+    width_ps = int(schedule.window_ms * PS_PER_MS)
+    offered = [0] * nwin
+    admitted = [0] * nwin
+    shed = [0] * nwin
+    failed = [0] * nwin
+    completed = [0] * nwin
+    queue_delay_ps = [0] * nwin
+    latencies: List[List[int]] = [[] for _ in range(nwin)]
+    busy_ps = [0.0] * nwin
+
+    for out in outcomes:
+        w_arr = bucket_of(out.t_ps, 0, width_ps, nwin)
+        offered[w_arr] += 1
+        if not out.admitted:
+            shed[w_arr] += 1
+            continue
+        admitted[w_arr] += 1
+        queue_delay_ps[w_arr] += out.queue_delay_ps
+        if out.status == "failed":
+            failed[w_arr] += 1
+        w_done = bucket_of(out.done_ps, 0, width_ps, nwin)
+        completed[w_done] += 1
+        latencies[w_done].append(out.latency_ps)
+        # busy time: clip the service interval to each window it spans
+        start = out.done_ps - out.service_ps
+        if out.service_ps > 0:
+            first = bucket_of(start, 0, width_ps, nwin)
+            last = bucket_of(out.done_ps - 1, 0, width_ps, nwin)
+            for w in range(first, last + 1):
+                w0, w1 = w * width_ps, (w + 1) * width_ps
+                if w == nwin - 1:
+                    w1 = max(w1, out.done_ps)  # last window absorbs overrun
+                busy_ps[w] += max(0, min(out.done_ps, w1) - max(start, w0))
+
+    window_s = width_ps / 1e12
+    rows = []
+    for w in range(nwin):
+        ordered = sorted(latencies[w])
+        rows.append({
+            "run": schedule.name,
+            "repetition": repetition,
+            "window": w,
+            "window_start_ms": w * width_ps / PS_PER_MS,
+            "window_end_ms": (w + 1) * width_ps / PS_PER_MS,
+            "offered": offered[w],
+            "offered_rps": offered[w] / window_s,
+            "admitted": admitted[w],
+            "completed": completed[w],
+            "achieved_rps": completed[w] / window_s,
+            "shed": shed[w],
+            "shed_rate": shed[w] / offered[w] if offered[w] else 0.0,
+            "failed": failed[w],
+            "failure_rate": failed[w] / admitted[w] if admitted[w] else 0.0,
+            "queue_delay_mean_ms": (
+                queue_delay_ps[w] / admitted[w] / PS_PER_MS
+                if admitted[w] else 0.0
+            ),
+            "latency_p50_ms": _percentile(ordered, 0.50) / PS_PER_MS,
+            "latency_p95_ms": _percentile(ordered, 0.95) / PS_PER_MS,
+            "latency_p99_ms": _percentile(ordered, 0.99) / PS_PER_MS,
+            "occupancy_mean": busy_ps[w] / (width_ps * schedule.servers),
+        })
+    return rows
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
+def render_run_table_csv(rows: Sequence[dict]) -> str:
+    """The CSV artifact as a string (fixed column order, 6-digit floats)."""
+    lines = [",".join(RUN_TABLE_COLUMNS)]
+    for row in rows:
+        lines.append(",".join(_cell(row[col]) for col in RUN_TABLE_COLUMNS))
+    return "\n".join(lines) + "\n"
+
+
+def run_table_records(
+    schedule: ArrivalSchedule,
+    seed: int,
+    repetitions: int,
+    rows: Sequence[dict],
+) -> List[dict]:
+    """The ``repro.service/v1`` JSONL records mirroring the CSV.
+
+    The meta record carries the full schedule (provenance) but **not**
+    the shard count — the artifact must not vary with worker topology.
+    """
+    records: List[dict] = [{
+        "schema": SERVICE_SCHEMA,
+        "kind": "meta",
+        "schedule": schedule.to_dict(),
+        "seed": seed,
+        "repetitions": repetitions,
+        "columns": list(RUN_TABLE_COLUMNS),
+    }]
+    for row in rows:
+        records.append({"kind": "window", **row})
+    for rep in range(repetitions):
+        mine = [r for r in rows if r["repetition"] == rep]
+        offered = sum(r["offered"] for r in mine)
+        records.append({
+            "kind": "repetition",
+            "repetition": rep,
+            "offered": offered,
+            "completed": sum(r["completed"] for r in mine),
+            "shed": sum(r["shed"] for r in mine),
+            "failed": sum(r["failed"] for r in mine),
+            "peak_queue_delay_ms": max(
+                (r["queue_delay_mean_ms"] for r in mine), default=0.0
+            ),
+            "overloaded_windows": sum(
+                1 for r in mine
+                if r["shed"] > 0 or r["completed"] < r["offered"]
+            ),
+        })
+    return records
+
+
+def write_run_table(path_csv: str, path_jsonl: str, schedule, seed, repetitions,
+                    rows) -> None:
+    """Emit both artifacts (newline-terminated, sorted-key JSON)."""
+    with open(path_csv, "w", encoding="utf-8") as fh:
+        fh.write(render_run_table_csv(rows))
+    records = run_table_records(schedule, seed, repetitions, rows)
+    with open(path_jsonl, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def render_summary(schedule: ArrivalSchedule, rows: Sequence[dict]) -> str:
+    """A terminal digest: offered vs achieved sparklines per repetition."""
+    lines = [f"service run: {schedule.name} "
+             f"({schedule.servers} server(s), queue<={schedule.queue_limit})"]
+    reps = sorted({r["repetition"] for r in rows})
+    for rep in reps:
+        mine = [r for r in rows if r["repetition"] == rep]
+        shed = sum(r["shed"] for r in mine)
+        total = sum(r["offered"] for r in mine)
+        lines += [
+            f"  rep {rep}: offered {total}, shed {shed} "
+            f"({100 * shed / total if total else 0:.1f}%)",
+            "    offered  " + sparkline([r["offered_rps"] for r in mine]),
+            "    achieved " + sparkline([r["achieved_rps"] for r in mine]),
+            "    queue ms " + sparkline([r["queue_delay_mean_ms"] for r in mine]),
+        ]
+    return "\n".join(lines)

@@ -34,11 +34,13 @@ from .attribution import (
     JourneyTracker,
     LatencyBreakdown,
     OccupancySampler,
+    fold_stage_summaries,
     journey_record,
     merge_attribution,
     occupancy_sources,
     read_attribution,
 )
+from .buckets import bucket_of, slice_width, sparkline
 from .chrome import load_chrome_trace, to_chrome_events, write_chrome_trace
 from .metrics import Counter, Gauge, Histogram, Metric
 from .registry import MetricsRegistry
@@ -59,7 +61,9 @@ __all__ = [
     "SCHEMA_VERSION",
     "TraceEvent",
     "TraceSession",
+    "bucket_of",
     "final_snapshot",
+    "fold_stage_summaries",
     "journey_record",
     "load_chrome_trace",
     "merge_attribution",
@@ -68,7 +72,9 @@ __all__ = [
     "read_attribution",
     "read_jsonl",
     "result_record",
+    "slice_width",
     "snapshot_record",
+    "sparkline",
     "to_chrome_events",
     "write_chrome_trace",
     "write_jsonl",

@@ -22,6 +22,7 @@ from .artifact import (
     ATTRIBUTION_SCHEMA_VERSION,
     attribution_meta,
     fault_window_records,
+    fold_stage_summaries,
     journey_record,
     journey_records,
     merge_attribution,
@@ -60,6 +61,7 @@ __all__ = [
     "StageVisit",
     "attribution_meta",
     "fault_window_records",
+    "fold_stage_summaries",
     "journey_chrome_extras",
     "journey_record",
     "journey_records",

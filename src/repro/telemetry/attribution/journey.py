@@ -68,11 +68,15 @@ STAGE_ORDER = (
     "storage.queue",
     "storage.service",
     "storage.io",
+    # accelerator DMA stages: pacing waits for a DIMM port's next burst
+    # slot, then the streamed transfer itself
+    "accel.pace",
+    "accel.dma",
 )
 
 #: which canonical stages are queueing time
 QUEUE_STAGES = frozenset({"host.tag_wait", "memory.queue",
-                          "wcache.admit", "storage.queue"})
+                          "wcache.admit", "storage.queue", "accel.pace"})
 
 
 @dataclass

@@ -1,0 +1,62 @@
+"""Time-bucket slicing and sparkline rendering, shared across views.
+
+Two consumers cut simulated time into equal slices and need to agree on
+the edge arithmetic so their rows line up:
+
+* the injections-vs-latency resilience view
+  (:func:`repro.faults.report.time_buckets` / ``scripts/run_chaos.py``),
+* the service run-table windows (:mod:`repro.service.table` /
+  ``scripts/run_service.py``).
+
+Both clamp out-of-range points into the last slice rather than dropping
+them — a completion that drains after the schedule ends still belongs to
+the run — and both render compact trend lines with :func:`sparkline`.
+All arithmetic is integer, so slice assignment is deterministic on every
+platform.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: eight-level bar glyphs, lowest to highest
+SPARK_GLYPHS = "▁▂▃▄▅▆▇█"
+
+
+def slice_width(t0: int, t1: int, buckets: int) -> int:
+    """Width of one slice cutting ``[t0, t1]`` into ``buckets`` pieces.
+
+    Ceiling division so the last slice always covers ``t1``; never
+    returns less than 1 (degenerate spans still bucket cleanly).
+    """
+    if buckets < 1:
+        raise ValueError("buckets must be >= 1")
+    return max(1, -(-(t1 - t0) // buckets))
+
+
+def bucket_of(t: int, t0: int, width: int, buckets: int) -> int:
+    """The slice index of time ``t``; out-of-range points clamp to the
+    nearest edge slice instead of falling off the table."""
+    return min(max((t - t0) // width, 0), buckets - 1)
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0) -> str:
+    """Render values as a fixed-height bar string (one glyph per value).
+
+    Bars scale linearly from ``lo`` (default 0 — bars share a baseline,
+    so two sparklines over the same quantity are visually comparable) to
+    the maximum value.  An all-``lo`` sequence renders as the lowest bar
+    throughout; an empty sequence renders as "".
+    """
+    if not values:
+        return ""
+    top = max(max(values), lo)
+    span = top - lo
+    if span <= 0:
+        return SPARK_GLYPHS[0] * len(values)
+    out: List[str] = []
+    levels = len(SPARK_GLYPHS) - 1
+    for value in values:
+        frac = (max(value, lo) - lo) / span
+        out.append(SPARK_GLYPHS[round(frac * levels)])
+    return "".join(out)

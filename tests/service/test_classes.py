@@ -1,0 +1,48 @@
+"""Request-class calibration: determinism, profiles, validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import REQUEST_CLASSES, SYSTEM_CLASSES, calibrate
+from repro.sim import Rng
+
+
+class TestCalibrate:
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate("http_get", 4, seed=1)
+
+    def test_needs_samples(self):
+        with pytest.raises(ConfigurationError):
+            calibrate("storage_read", 0, seed=1)
+
+    def test_storage_profile_is_deterministic(self):
+        a = calibrate("storage_read", 6, seed=5)
+        b = calibrate("storage_read", 6, seed=5)
+        assert a == b
+        assert len(a.samples_ps) == 6
+        assert all(t > 0 for t in a.samples_ps)
+        assert all(a.ok)
+
+    def test_seed_changes_addresses_not_shape(self):
+        a = calibrate("storage_write", 6, seed=1)
+        b = calibrate("storage_write", 6, seed=2)
+        # same device model: magnitudes agree within an order
+        assert 0.1 < a.mean_ps / b.mean_ps < 10
+
+    def test_gpfs_includes_software_overhead(self):
+        gpfs = calibrate("gpfs_write", 4, seed=1)
+        raw = calibrate("storage_write", 4, seed=1)
+        assert gpfs.mean_ps > raw.mean_ps
+
+    def test_draws_come_from_the_sample_set(self):
+        profile = calibrate("storage_read", 5, seed=9)
+        rng = Rng(42, "draw")
+        for _ in range(20):
+            service_ps, ok = profile.draw(rng)
+            assert service_ps in profile.samples_ps
+            assert isinstance(ok, bool)
+
+    def test_class_registry_shape(self):
+        assert SYSTEM_CLASSES < set(REQUEST_CLASSES)
+        assert tuple(sorted(REQUEST_CLASSES)) == REQUEST_CLASSES

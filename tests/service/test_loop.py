@@ -1,0 +1,96 @@
+"""ServiceLoop: admission, queueing, shedding, and determinism."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import Arrival, RequestOutcome, ServiceLoop
+
+MS = 1_000_000_000  # ps
+
+
+def stream(gaps_service):
+    """Build (arrival, service_ps, ok) triples from (gap, service) pairs."""
+    t = 0
+    out = []
+    for i, (gap_ps, service_ps) in enumerate(gaps_service):
+        t += gap_ps
+        out.append((Arrival(i, t, "t", "mem_read", 1), service_ps, True))
+    return out
+
+
+class TestUnderload:
+    def test_no_queueing_when_service_fits_the_gap(self):
+        outcomes = ServiceLoop(1, 4).run(stream([(10, 5)] * 20))
+        assert all(o.status == "ok" for o in outcomes)
+        assert all(o.queue_delay_ps == 0 for o in outcomes)
+        assert all(o.latency_ps == o.service_ps for o in outcomes)
+
+    def test_parallel_servers_absorb_bursts(self):
+        # two requests at the same instant, two servers: no waiting
+        demands = [
+            (Arrival(0, 0, "t", "mem_read", 1), 100, True),
+            (Arrival(1, 0, "t", "mem_read", 1), 100, True),
+        ]
+        outcomes = ServiceLoop(2, 4).run(demands)
+        assert [o.queue_delay_ps for o in outcomes] == [0, 0]
+
+
+class TestOverload:
+    def test_queue_delay_accumulates(self):
+        # service 3x the inter-arrival gap on one server: waits grow
+        outcomes = ServiceLoop(1, 1000).run(stream([(10, 30)] * 10))
+        waits = [o.queue_delay_ps for o in outcomes]
+        assert waits == sorted(waits)
+        assert waits[-1] > 0
+
+    def test_queue_limit_sheds(self):
+        outcomes = ServiceLoop(1, 2).run(stream([(1, 1000)] * 50))
+        shed = [o for o in outcomes if o.status == "shed"]
+        assert shed
+        assert all(o.service_ps == 0 and o.latency_ps == 0 for o in shed)
+        # admitted requests still complete
+        assert any(o.status == "ok" for o in outcomes)
+
+    def test_max_queue_delay_sheds_even_with_room(self):
+        loop = ServiceLoop(1, 1000, max_queue_delay_ps=50)
+        outcomes = loop.run(stream([(1, 1000)] * 10))
+        assert any(o.status == "shed" for o in outcomes)
+
+    def test_failed_ops_still_occupy_the_server(self):
+        demands = [
+            (Arrival(0, 0, "t", "mem_read", 1), 100, False),
+            (Arrival(1, 0, "t", "mem_read", 1), 100, True),
+        ]
+        outcomes = ServiceLoop(1, 4).run(demands)
+        assert outcomes[0].status == "failed"
+        assert outcomes[0].service_ps == 100
+        # the failure blocked the second request like any other service
+        assert outcomes[1].queue_delay_ps == 100
+
+
+class TestContracts:
+    def test_rejects_unordered_arrivals(self):
+        demands = [
+            (Arrival(0, 10, "t", "mem_read", 1), 1, True),
+            (Arrival(1, 5, "t", "mem_read", 1), 1, True),
+        ]
+        with pytest.raises(ConfigurationError):
+            ServiceLoop(1, 4).run(demands)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ConfigurationError):
+            ServiceLoop(0, 4)
+        with pytest.raises(ConfigurationError):
+            ServiceLoop(1, 0)
+
+    def test_replay_is_deterministic(self):
+        demands = stream([(7, 23)] * 100)
+        assert ServiceLoop(3, 8).run(demands) == ServiceLoop(3, 8).run(demands)
+
+    def test_outcome_accounting(self):
+        out = RequestOutcome(0, 100, "t", "mem_read", "ok", 20, 30, 150)
+        assert out.admitted
+        assert out.latency_ps == 50
+        shed = RequestOutcome(1, 100, "t", "mem_read", "shed", 0, 0, 100)
+        assert not shed.admitted
+        assert shed.latency_ps == 0

@@ -1,0 +1,54 @@
+"""Shared time-bucketing and sparkline helpers."""
+
+import pytest
+
+from repro.telemetry import bucket_of, slice_width, sparkline
+from repro.telemetry.buckets import SPARK_GLYPHS
+
+
+class TestSlicing:
+    def test_width_is_ceiling_division(self):
+        assert slice_width(0, 100, 10) == 10
+        assert slice_width(0, 101, 10) == 11
+        assert slice_width(50, 60, 100) == 1  # never zero
+
+    def test_rejects_nonpositive_bucket_count(self):
+        with pytest.raises(ValueError):
+            slice_width(0, 100, 0)
+
+    def test_bucket_of_bins_and_clamps(self):
+        width = slice_width(0, 100, 10)
+        assert bucket_of(0, 0, width, 10) == 0
+        assert bucket_of(99, 0, width, 10) == 9
+        # out-of-range times clamp instead of overflowing
+        assert bucket_of(1_000, 0, width, 10) == 9
+        assert bucket_of(-5, 0, width, 10) == 0
+
+    def test_every_instant_lands_in_exactly_one_bucket(self):
+        t0, t1, buckets = 7, 113, 9
+        width = slice_width(t0, t1, buckets)
+        seen = [bucket_of(t, t0, width, buckets) for t in range(t0, t1)]
+        assert min(seen) == 0 and max(seen) == buckets - 1
+        assert seen == sorted(seen)
+
+
+class TestSparkline:
+    def test_empty_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_at_lo_renders_lowest_glyph(self):
+        assert sparkline([0, 0, 0]) == SPARK_GLYPHS[0] * 3
+
+    def test_flat_above_lo_renders_top_glyph(self):
+        # the scale runs lo -> max, so a flat nonzero series is "at max"
+        assert sparkline([5, 5, 5]) == SPARK_GLYPHS[-1] * 3
+
+    def test_scale_is_linear_from_lo(self):
+        line = sparkline([0, 50, 100])
+        assert line[0] == SPARK_GLYPHS[0]
+        assert line[-1] == SPARK_GLYPHS[-1]
+        assert len(line) == 3
+
+    def test_peak_always_gets_the_top_glyph(self):
+        for values in ([1, 2, 3], [100, 7, 3], [0.1, 0.9]):
+            assert SPARK_GLYPHS[-1] in sparkline(values)

@@ -1,0 +1,71 @@
+"""fold_stage_summaries: bounded-memory merging of per-worker summaries."""
+
+from repro.telemetry import (
+    JourneyTracker,
+    LatencyBreakdown,
+    fold_stage_summaries,
+    journey_record,
+)
+from repro.telemetry.attribution import stage_summary_records
+
+
+def make_summaries(scenario: str, latencies_ps):
+    """stage_summary records of one synthetic worker's journeys."""
+    tracker = JourneyTracker()
+    tracker.set_scenario(scenario)
+    for i, latency in enumerate(latencies_ps):
+        jid = tracker.begin("read", i * 128, "ch0", 0)
+        tracker.stage_to(jid, "memory.service", latency)
+        tracker.finish(jid, latency)
+    breakdown = LatencyBreakdown()
+    for journey in tracker.completed:
+        breakdown.add_record(journey_record(journey))
+    return stage_summary_records(breakdown)
+
+
+class TestFold:
+    def test_journey_counts_sum(self):
+        folded = fold_stage_summaries([
+            ("job:a", make_summaries("svc", [100, 200])),
+            ("job:b", make_summaries("svc", [300, 400, 500])),
+        ])
+        meta = next(r for r in folded if r["kind"] == "meta")
+        assert meta["journeys"] == 5
+        assert meta["folded"] is True
+        assert meta["sources"] == ["job:a", "job:b"]
+
+    def test_means_are_journey_weighted(self):
+        folded = fold_stage_summaries([
+            ("job:a", make_summaries("svc", [100, 100])),
+            ("job:b", make_summaries("svc", [400])),
+        ])
+        e2e = next(r for r in folded if r["kind"] == "end_to_end")
+        assert e2e["mean_ps"] == (100 + 100 + 400) / 3
+        assert e2e["min_ps"] == 100
+        assert e2e["max_ps"] == 400
+
+    def test_scenarios_stay_separate(self):
+        folded = fold_stage_summaries([
+            ("job:a", make_summaries("alpha", [100])),
+            ("job:b", make_summaries("beta", [900])),
+        ])
+        scenarios = {
+            r["scenario"] for r in folded if r["kind"] == "end_to_end"
+        }
+        assert scenarios == {"alpha", "beta"}
+
+    def test_every_record_is_marked_folded(self):
+        folded = fold_stage_summaries([
+            ("job:a", make_summaries("svc", [100])),
+        ])
+        assert all(r.get("folded") for r in folded)
+
+    def test_stage_rows_survive_the_fold(self):
+        folded = fold_stage_summaries([
+            ("job:a", make_summaries("svc", [100, 300])),
+            ("job:b", make_summaries("svc", [200])),
+        ])
+        stage = next(r for r in folded if r["kind"] == "stage_summary")
+        assert stage["stage"] == "memory.service"
+        assert stage["count"] == 3
+        assert stage["mean_ps"] == (100 + 300 + 200) / 3

@@ -17,6 +17,14 @@ contribution), and — when a baseline scenario exists — the per-stage
 delta against it, which is the paper's Table 3 decomposition: where the
 extra ConTutto nanoseconds actually go.
 
+DMI journeys carry two extra annotations the report exploits when
+present: the command address maps to its DRAM bank (row bits above bank
+bits, 8 KiB pages over 8 banks), giving a per-bank contention table —
+how evenly the address stream spread across the rank, and what each
+bank's latency profile looked like; and the channel's in-flight count at
+issue time gives a queue-depth-vs-latency correlation table, showing how
+much of the tail is queueing amplified by memory-level parallelism.
+
 ``--check`` turns the breakdown's self-diagnostics into an exit code:
 non-zero when the artifact has no journeys, unattributed residual above
 tolerance, or negative stage durations.
@@ -25,10 +33,12 @@ tolerance, or negative stage durations.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 
 from repro.core.results import ResultTable
+from repro.memory import DdrDram
 from repro.telemetry import LatencyBreakdown, merge_attribution, read_attribution
 from repro.telemetry.attribution import journey_records
 
@@ -115,6 +125,102 @@ def fault_table(breakdown: LatencyBreakdown, scenario: str) -> ResultTable:
     return table
 
 
+def _nearest_rank(ordered, pct: float):
+    """Nearest-rank percentile over a pre-sorted list (repo convention)."""
+    return ordered[max(0, math.ceil(pct / 100 * len(ordered)) - 1)]
+
+
+def dmi_journeys(journeys, scenario: str) -> list:
+    """Completed depth-annotated journeys of one scenario.
+
+    Only the host memory controller stamps ``depth``, so its presence
+    discriminates DMI line commands (whose addresses are physical and
+    bank-mappable) from storage-layer journeys (whose ``addr`` is a file
+    offset).
+    """
+    return [
+        j for j in journeys
+        if j.get("scenario", "") == scenario
+        and j.get("depth") is not None
+        and j.get("end_ps") is not None
+    ]
+
+
+def bank_table(journeys, scenario: str) -> ResultTable:
+    """Per-DRAM-bank access counts and latency profile for one scenario."""
+    by_bank = {}
+    for j in journeys:
+        bank = (j["addr"] // DdrDram.ROW_BYTES) % DdrDram.NUM_BANKS
+        by_bank.setdefault(bank, []).append(j["end_ps"] - j["start_ps"])
+    total = sum(len(v) for v in by_bank.values())
+    table = ResultTable(
+        f"DRAM bank contention: {scenario} ({total} commands, "
+        f"{len(by_bank)} of {DdrDram.NUM_BANKS} banks touched)",
+        ["Bank", "Count", "Share", "Mean (ns)", "p95 (ns)", "p99 (ns)",
+         "Max (ns)"],
+    )
+    for bank in sorted(by_bank):
+        lat = sorted(by_bank[bank])
+        table.add_row(
+            bank, len(lat), f"{len(lat) / total:.1%}",
+            sum(lat) / len(lat) / 1000,
+            _nearest_rank(lat, 95) / 1000,
+            _nearest_rank(lat, 99) / 1000,
+            lat[-1] / 1000,
+        )
+    counts = [len(v) for v in by_bank.values()]
+    imbalance = max(counts) / (sum(counts) / len(counts)) if counts else 0.0
+    table.add_note(
+        f"hottest bank holds {imbalance:.2f}x the mean bank load "
+        "(1.00 = perfectly even)"
+    )
+    return table
+
+
+def depth_table(journeys, scenario: str) -> ResultTable:
+    """Queue-depth-vs-latency correlation for one scenario.
+
+    Rows bucket journeys by the in-flight count their issue observed; the
+    note reports the Pearson correlation between depth and end-to-end
+    latency — high r means the tail is queueing, not service time.
+    """
+    by_depth = {}
+    pairs = []
+    for j in journeys:
+        latency = j["end_ps"] - j["start_ps"]
+        by_depth.setdefault(j["depth"], []).append(latency)
+        pairs.append((j["depth"], latency))
+    table = ResultTable(
+        f"Queue depth vs latency: {scenario} ({len(pairs)} commands)",
+        ["Depth at issue", "Count", "Mean (ns)", "p50 (ns)", "p99 (ns)",
+         "Max (ns)"],
+    )
+    for depth in sorted(by_depth):
+        lat = sorted(by_depth[depth])
+        table.add_row(
+            depth, len(lat),
+            sum(lat) / len(lat) / 1000,
+            _nearest_rank(lat, 50) / 1000,
+            _nearest_rank(lat, 99) / 1000,
+            lat[-1] / 1000,
+        )
+    n = len(pairs)
+    mean_d = sum(d for d, _ in pairs) / n
+    mean_l = sum(l for _, l in pairs) / n
+    cov = sum((d - mean_d) * (l - mean_l) for d, l in pairs)
+    var_d = sum((d - mean_d) ** 2 for d, _ in pairs)
+    var_l = sum((l - mean_l) ** 2 for _, l in pairs)
+    if var_d > 0 and var_l > 0:
+        r = cov / math.sqrt(var_d * var_l)
+        table.add_note(f"Pearson depth-latency correlation: r = {r:+.3f}")
+    else:
+        table.add_note(
+            "Pearson depth-latency correlation undefined "
+            "(constant depth or constant latency)"
+        )
+    return table
+
+
 def delta_table(breakdown: LatencyBreakdown, scenario: str, baseline: str) -> ResultTable:
     diff = breakdown.scenario_mean_ns(scenario) - breakdown.scenario_mean_ns(baseline)
     table = ResultTable(
@@ -188,6 +294,12 @@ def main(argv=None) -> int:
             print()
             if breakdown.fault_split(scenario) is not None:
                 print(fault_table(breakdown, scenario).to_markdown())
+                print()
+            annotated = dmi_journeys(journeys, scenario)
+            if annotated:
+                print(bank_table(annotated, scenario).to_markdown())
+                print()
+                print(depth_table(annotated, scenario).to_markdown())
                 print()
         for scenario in scenarios:
             if scenario != baseline:

@@ -7,16 +7,22 @@ A schedule file describes offered load over time (see docs/service.md):
     python scripts/run_service.py --schedule s.json --shards 4 --repetitions 3
     python scripts/run_service.py --schedule s.json --faults plan.json
 
-Each (repetition, shard) runs as a campaign job — cached, retried,
-manifest-journaled like any sweep — then the parent merges the shard
-demand tables, replays the bounded-queue service loop over the globally
-ordered stream, and writes to ``--out``:
+The run is two campaign phases.  First a single **calibration job**
+measures every request class the schedule references — one shared
+artifact per invocation, instead of every (repetition, shard) job
+re-running the simulator for the same profiles.  Then each
+(repetition, shard) runs as a campaign job — cached, retried,
+manifest-journaled like any sweep — carrying the calibration artifact
+in its kwargs, so the result cache keys on profile content.  The parent
+merges the shard demand tables, replays the bounded-queue service loop
+over the globally ordered stream, and writes to ``--out``:
 
 * ``run_table.csv``    — one row per (run, repetition, window);
 * ``run_table.jsonl``  — the same grid as ``repro.service/v1`` records;
 * ``metrics.jsonl``    — merged telemetry of every executed job;
-* ``attribution.jsonl``— merged latency attribution of the calibrations;
-* ``manifest.jsonl``   — the campaign job journal.
+* ``attribution.jsonl``— merged latency attribution of the calibration;
+* ``manifest.jsonl``   — the shard job journal;
+* ``calib-manifest.jsonl`` — the calibration job journal.
 
 The run table never depends on ``--shards``: the same schedule and seed
 reproduce it byte for byte at any shard count.
@@ -28,7 +34,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.campaign import CampaignJob, CampaignRunner, ResultCache
+from repro.campaign import CampaignJob, CampaignReport, CampaignRunner, ResultCache
 from repro.errors import ConfigurationError, ReproError
 from repro.faults import FaultPlan
 from repro.service import (
@@ -36,6 +42,8 @@ from repro.service import (
     demand_stream,
     generate_arrivals,
     merge_shard_demands,
+    profiles_from_table,
+    profiles_to_json,
     render_summary,
     rep_seed,
     run_service,
@@ -103,9 +111,8 @@ def main(argv=None) -> int:
         print("--shards and --repetitions must be >= 1", file=sys.stderr)
         return 2
 
-    kwargs_base = {
-        "schedule": schedule.to_json(),
-        "shards": args.shards,
+    calib_kwargs = {
+        "classes": ",".join(sorted({t.klass for t in schedule.tenants})),
         "calib_samples": args.calib_samples,
     }
     if args.faults:
@@ -116,24 +123,47 @@ def main(argv=None) -> int:
         except (OSError, ConfigurationError) as exc:
             print(f"fault plan: {exc}", file=sys.stderr)
             return 2
-        kwargs_base["faults"] = plan.to_json()
+        calib_kwargs["faults"] = plan.to_json()
 
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    # phase 1: one shared calibration job for the whole invocation —
+    # every (repetition, shard) job below reuses its profiles artifact
+    calib_runner = CampaignRunner(
+        [CampaignJob.make("service_calibrate", calib_kwargs, seed=args.seed)],
+        workers=1,
+        cache=cache,
+        manifest_path=str(out_dir / "calib-manifest.jsonl"),
+        timeout_s=args.timeout,
+        base_seed=args.seed,
+    )
+    calib_report = calib_runner.run()
+    if calib_report.failed:
+        for outcome in calib_report.failed:
+            print(f"FAILED {outcome.job.job_id}: {outcome.error}",
+                  file=sys.stderr)
+        return 1
+    profiles_json = profiles_to_json(
+        profiles_from_table(calib_report.outcomes[0].tables()[0])
+    )
+
+    # phase 2: shard demand jobs, none of which touch the simulator
     jobs = [
         CampaignJob.make(
             "service_shard",
-            {**kwargs_base, "repetition": rep, "shard": shard},
+            {"schedule": schedule.to_json(), "shards": args.shards,
+             "profiles": profiles_json, "repetition": rep, "shard": shard},
             seed=args.seed,
         )
         for rep in range(args.repetitions)
         for shard in range(args.shards)
     ]
-
-    out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
     runner = CampaignRunner(
         jobs,
         workers=args.shards,
-        cache=None if args.no_cache else ResultCache(args.cache_dir),
+        cache=cache,
         manifest_path=str(out_dir / "manifest.jsonl"),
         timeout_s=args.timeout,
         base_seed=args.seed,
@@ -165,15 +195,23 @@ def main(argv=None) -> int:
         str(out_dir / "run_table.csv"), str(out_dir / "run_table.jsonl"),
         schedule, args.seed, args.repetitions, rows,
     )
-    report.write_telemetry(
+    # artifacts cover both phases: calibration first (it holds the sim
+    # journeys), then the shard demand jobs
+    combined = CampaignReport(
+        outcomes=calib_report.outcomes + report.outcomes,
+        wall_clock_s=calib_report.wall_clock_s + report.wall_clock_s,
+        workers=args.shards,
+    )
+    combined.write_telemetry(
         str(out_dir / "metrics.jsonl"),
         params={"schedule": schedule.name, "seed": args.seed,
                 "shards": args.shards, "repetitions": args.repetitions},
     )
-    report.write_attribution(str(out_dir / "attribution.jsonl"),
-                             name=f"service:{schedule.name}")
+    combined.write_attribution(str(out_dir / "attribution.jsonl"),
+                               name=f"service:{schedule.name}")
 
     print(render_summary(schedule, rows))
+    print(f"calibration: {calib_report.summary()}", file=sys.stderr)
     print(f"campaign: {report.summary()}", file=sys.stderr)
     print(f"wrote {out_dir / 'run_table.csv'}", file=sys.stderr)
     return 0

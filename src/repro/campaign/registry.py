@@ -36,7 +36,8 @@ from ..faults.experiments import (
     run_nvdimm_drill,
     run_storage_drill,
 )
-from ..service.shard import run_service_shard
+from ..service.shard import run_service_calibrate, run_service_shard
+from ..tune.trial import run_tune_trial
 
 
 @dataclass(frozen=True)
@@ -83,6 +84,22 @@ _SPECS: List[ExperimentSpec] = [
         "service_shard", run_service_shard,
         {"schedule": "", "shard": 0, "shards": 1, "repetition": 0,
          "calib_samples": 24},
+        hidden=True, paper=False, supports_faults=True,
+    ),
+    # shared service calibration (docs/service.md) — one job per
+    # run_service.py invocation; its table becomes the profiles artifact
+    # every (repetition, shard) job reuses
+    ExperimentSpec(
+        "service_calibrate", run_service_calibrate,
+        {"classes": "", "calib_samples": 24},
+        hidden=True, paper=False, supports_faults=True,
+    ),
+    # autotuner trial worker (docs/tuning.md) — scheduled by the tune
+    # driver, one job per (config, rung); hidden because a lone trial is
+    # meaningless without the search that proposed it
+    ExperimentSpec(
+        "tune_trial", run_tune_trial,
+        {"config": "{}", "workload": "mem_read", "samples": 32, "depth": 4},
         hidden=True, paper=False, supports_faults=True,
     ),
 ]

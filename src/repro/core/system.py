@@ -36,7 +36,14 @@ from ..firmware import (
     set_latency_knob,
 )
 from ..fpga import ConTuttoBuffer, FpgaTimingConfig, SHIPPING_TIMING
-from ..memory import DdrDram, MemoryDevice, NvdimmN, SttMram, spd_for_device
+from ..memory import (
+    Ddr3Timing,
+    DdrDram,
+    MemoryDevice,
+    NvdimmN,
+    SttMram,
+    spd_for_device,
+)
 from ..processor import Power8Socket, SocketConfig
 from ..sim import Rng, Simulator
 from ..storage import PmemConfig, PmemRegion
@@ -44,9 +51,12 @@ from ..telemetry import occupancy_sources, probe
 from ..units import GIB, MIB
 
 _MEMORY_FACTORIES = {
-    "dram": lambda cap, name, ecc: DdrDram(cap, name=name, ecc_enabled=ecc),
-    "mram": lambda cap, name, ecc: SttMram(cap, name=name),
-    "nvdimm": lambda cap, name, ecc: NvdimmN(cap, name=name),
+    "dram": lambda cap, name, ecc, timing: DdrDram(
+        cap, name=name, ecc_enabled=ecc,
+        **({} if timing is None else {"timing": timing}),
+    ),
+    "mram": lambda cap, name, ecc, timing: SttMram(cap, name=name),
+    "nvdimm": lambda cap, name, ecc, timing: NvdimmN(cap, name=name),
 }
 
 
@@ -66,6 +76,8 @@ class CardSpec:
     timing: FpgaTimingConfig = SHIPPING_TIMING
     #: SEC-DED ECC on the DRAM DIMMs (DRAM only)
     ecc: bool = False
+    #: DRAM-only: override the DIMM timing grade (None = DDR3-1333 CL9)
+    ddr_timing: Optional["Ddr3Timing"] = None
     #: ConTutto-only: the Section 3.3 freeze workaround (retransmit while
     #: preparing replay); disabling it makes slow replays fail the channel
     freeze: bool = True
@@ -79,6 +91,10 @@ class CardSpec:
             raise ConfigurationError(
                 "Centaur only drives DRAM; non-DRAM needs a ConTutto card "
                 "(the point of the paper)"
+            )
+        if self.ddr_timing is not None and self.memory != "dram":
+            raise ConfigurationError(
+                f"ddr_timing only applies to DRAM DIMMs, not {self.memory!r}"
             )
 
 
@@ -133,7 +149,8 @@ class ContuttoSystem:
         factory = _MEMORY_FACTORIES[spec.memory]
         if spec.kind == "centaur":
             devices = [
-                factory(spec.capacity_per_dimm, f"s{spec.slot}.d{i}", spec.ecc)
+                factory(spec.capacity_per_dimm, f"s{spec.slot}.d{i}", spec.ecc,
+                        spec.ddr_timing)
                 for i in range(4)
             ]
             buffer: MemoryBuffer = Centaur(
@@ -144,7 +161,8 @@ class ContuttoSystem:
                 fsi_slave=CentaurFsiSlave(sim, f"fsi{spec.slot}"),
             )
         devices = [
-            factory(spec.capacity_per_dimm, f"s{spec.slot}.d{i}", spec.ecc)
+            factory(spec.capacity_per_dimm, f"s{spec.slot}.d{i}", spec.ecc,
+                    spec.ddr_timing)
             for i in range(2)
         ]
         buffer = ConTuttoBuffer(

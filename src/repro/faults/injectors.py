@@ -19,6 +19,9 @@ behaviour — they drive the error paths the model already has:
                       or LOST on an undersized supercap); window end
                       restores power
 ``accel.engine_stall`` seize MBS command engines for the window
+``fpga.clock_jitter`` thermal/clock instability on the FPGA fabric: every
+                      MBS memory operation picks up a uniform extra delay
+                      in ``[0, jitter_ps]`` for the window
 ``storage.io_errors`` install an :class:`IoFaultModel` on block devices:
                       IO attempts fail (by rate or forced count) and are
                       retried up to a bound before surfacing a
@@ -470,6 +473,52 @@ class EngineStall(Injector):
         for pool, engine in self._held:
             pool.free(engine)
         self._held.clear()
+        return "recovered"
+
+
+@register_injector("fpga.clock_jitter")
+class ClockJitter(Injector):
+    """Thermal/clock instability on the FPGA fabric for the window.
+
+    A prototyping platform's fabric clock is not a production ASIC's: a
+    hot or marginal build closes timing with jitter.  Modeled as a
+    uniform extra delay in ``[0, jitter_ps]`` on every MBS memory
+    operation (the knob's delay-module path; flush is ordering, not a
+    memory access, and is exempt).  Only ConTutto buffers have an MBS —
+    on a Centaur-only system the injector skips.  The per-injector
+    forked RNG keeps runs deterministic.
+    """
+
+    def bind(self, system) -> None:
+        self.mbs = [
+            slot.buffer.mbs
+            for _, slot in _target_slots(system, self.spec.target)
+            if hasattr(slot.buffer, "mbs")
+        ]
+        self._saved: Optional[List[Tuple[int, object]]] = None
+
+    def inject(self, now_ps: int) -> str:
+        if not self.mbs:
+            return "skipped"
+        if self._saved is None:  # overlapping windows keep the first save
+            self._saved = [(m.jitter_ps, m.jitter_rng) for m in self.mbs]
+        jitter = int(self.spec.param("jitter_ps", 2_000))
+        if jitter < 0:
+            raise ConfigurationError(
+                f"{self.spec.label}: jitter_ps must be >= 0 (got {jitter})"
+            )
+        for i, mbs in enumerate(self.mbs):
+            mbs.jitter_ps = jitter
+            mbs.jitter_rng = self.rng.fork(f"jitter{i}")
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        if self._saved is None:
+            return "noop"
+        for mbs, (jitter, rng) in zip(self.mbs, self._saved):
+            mbs.jitter_ps = jitter
+            mbs.jitter_rng = rng
+        self._saved = None
         return "recovered"
 
 

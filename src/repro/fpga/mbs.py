@@ -67,6 +67,11 @@ class MbsLogic:
         # ordered after a write always waits for it
         self._writes_outstanding = 0
         self._flush_waiters: List[Signal] = []
+        #: fault hook (``fpga.clock_jitter``): when set, every memory
+        #: operation picks up a uniform extra delay in [0, jitter_ps] —
+        #: a thermally unstable fabric clock can only be late, never early
+        self.jitter_ps = 0
+        self.jitter_rng = None
         # Stats
         self.commands = 0
         self.flushes = 0
@@ -103,6 +108,8 @@ class MbsLogic:
 
         op = command.opcode
         delay = self.knob.delay_ps  # delay modules between MBS and Avalon
+        if self.jitter_ps and self.jitter_rng is not None:
+            delay += self.jitter_rng.randint(0, self.jitter_ps)
         if op is Opcode.READ:
             self.sim.call_after(delay, self._do_read, engine, command, finish)
         elif op is Opcode.WRITE:

@@ -287,3 +287,7 @@ class DdrDram(MemoryDevice):
     def banks_busy(self, now_ps: int) -> int:
         """Banks still serving (or recovering from) an access at ``now_ps``."""
         return sum(1 for bank in self._banks if bank.ready_ps > now_ps)
+
+    def bank_busy(self, bank: int, now_ps: int) -> bool:
+        """Whether one bank is serving (or recovering from) an access."""
+        return self._banks[bank].ready_ps > now_ps

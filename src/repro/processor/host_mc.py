@@ -58,7 +58,8 @@ class HostMemoryController:
                 # a line command issued inside a storage transfer becomes a
                 # *child* journey of it (separate ":lines" scenario lane)
                 jid = journeys.begin(opcode.value, addr, self.channel.name,
-                                     issued_at, parent=journeys.current())
+                                     issued_at, parent=journeys.current(),
+                                     depth=self.tags.in_flight_count)
 
         def with_tag(tag: int) -> None:
             if jid is not None:

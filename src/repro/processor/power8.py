@@ -52,6 +52,12 @@ class SocketConfig:
     #: link rate against each buffer kind, in Gb/s
     centaur_link_gbps: float = 9.6
     contutto_link_gbps: float = 8.0
+    #: per-channel command-tag window (None = the hardware 32); smaller
+    #: windows throttle memory-level parallelism, a tunable axis
+    num_tags: Optional[int] = None
+    #: replay-buffer depth on both channel endpoints (None = the default);
+    #: bounds how many unacknowledged frames may be in flight
+    replay_depth: Optional[int] = None
 
 
 @dataclass
@@ -117,18 +123,25 @@ class Power8Socket:
 
         configure_link_errors([down, up], self.config.frame_error_rate)
         tx, rx, prep, freeze = buffer.endpoint_overheads()
+        depth_kwargs = (
+            {} if self.config.replay_depth is None
+            else {"replay_depth": self.config.replay_depth}
+        )
         buffer_config = EndpointConfig(
             tx_overhead_ps=tx,
             rx_overhead_ps=rx,
             replay_prep_ps=prep,
             freeze_workaround=freeze,
             max_replay_start_ps=self.config.max_replay_start_ps,
+            **depth_kwargs,
         )
         channel = DmiChannel(
-            self.sim, down, up, EndpointConfig(), buffer_config,
+            self.sim, down, up, EndpointConfig(**depth_kwargs), buffer_config,
             buffer.handle_command, name=f"{self.name}.dmi{channel_no}",
         )
-        host_mc = HostMemoryController(self.sim, channel)
+        host_mc = HostMemoryController(
+            self.sim, channel, num_tags=self.config.num_tags
+        )
         slot = ChannelSlot(channel_no, buffer, channel, host_mc)
         self.slots[channel_no] = slot
         return slot

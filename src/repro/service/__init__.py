@@ -22,6 +22,8 @@ from .classes import (
     SYSTEM_CLASSES,
     ServiceProfile,
     calibrate,
+    profiles_from_json,
+    profiles_to_json,
 )
 from .loop import (
     OUTCOME_STATUSES,
@@ -40,10 +42,14 @@ from .schedule import (
     generate_arrivals,
 )
 from .shard import (
+    CALIBRATION_COLUMNS,
     SHARD_COLUMNS,
     calibrate_classes,
+    calibration_seed,
     draw_demand,
+    profiles_from_table,
     rep_seed,
+    run_service_calibrate,
     run_service_shard,
 )
 from .table import (
@@ -60,6 +66,7 @@ from .table import (
 __all__ = [
     "Arrival",
     "ArrivalSchedule",
+    "CALIBRATION_COLUMNS",
     "OUTCOME_STATUSES",
     "PHASE_KINDS",
     "PS_PER_MS",
@@ -75,14 +82,19 @@ __all__ = [
     "Tenant",
     "calibrate",
     "calibrate_classes",
+    "calibration_seed",
     "demand_stream",
     "draw_demand",
     "generate_arrivals",
     "merge_shard_demands",
+    "profiles_from_json",
+    "profiles_from_table",
+    "profiles_to_json",
     "render_run_table_csv",
     "render_summary",
     "rep_seed",
     "run_service",
+    "run_service_calibrate",
     "run_service_shard",
     "run_table_records",
     "window_rows",

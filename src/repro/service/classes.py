@@ -39,6 +39,7 @@ with no system to inject into, so a plan leaves them untouched.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -98,6 +99,48 @@ class ServiceProfile:
     @property
     def mean_ps(self) -> float:
         return sum(self.samples_ps) / len(self.samples_ps)
+
+    def to_dict(self) -> dict:
+        return {
+            "klass": self.klass,
+            "samples_ps": list(self.samples_ps),
+            "ok": [int(v) for v in self.ok],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceProfile":
+        try:
+            return cls(
+                data["klass"],
+                tuple(int(v) for v in data["samples_ps"]),
+                tuple(bool(v) for v in data["ok"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed profile record: {exc}") from exc
+
+
+def profiles_to_json(profiles: dict) -> str:
+    """Canonical JSON of a ``{class: profile}`` map.
+
+    Canonical (sorted keys, no whitespace) because the string rides in
+    shard-job kwargs: the result cache keys on it, so the same profiles
+    must always serialize to the same bytes.
+    """
+    return json.dumps(
+        {klass: profiles[klass].to_dict() for klass in sorted(profiles)},
+        sort_keys=True, separators=(",", ":"),
+    )
+
+
+def profiles_from_json(text: str) -> dict:
+    """Parse a ``{class: profile}`` map written by :func:`profiles_to_json`."""
+    try:
+        raw = json.loads(text)
+    except ValueError as exc:
+        raise ConfigurationError(f"bad profiles JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ConfigurationError("profiles JSON must be an object")
+    return {klass: ServiceProfile.from_dict(rec) for klass, rec in raw.items()}
 
 
 def _set_scenario(label: str) -> None:

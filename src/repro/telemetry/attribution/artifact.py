@@ -63,6 +63,7 @@ def journey_record(journey: Journey) -> dict:
         ],
         **({"faults": list(journey.faults)} if journey.faults else {}),
         **({"parent": journey.parent} if journey.parent is not None else {}),
+        **({"depth": journey.depth} if journey.depth is not None else {}),
     }
 
 

@@ -115,6 +115,10 @@ class Journey:
     #: journey id of the enclosing journey (a pmem 4K transfer spawns DMI
     #: line journeys); None for top-level journeys
     parent: Optional[int] = None
+    #: queue depth observed at issue (commands already in flight on the
+    #: channel, this one excluded); None where the issuing layer has no
+    #: depth notion — the raw material of depth-vs-latency correlation
+    depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.cursor_ps == 0:
@@ -176,6 +180,7 @@ class JourneyTracker:
         now_ps: int,
         parent: Optional[int] = None,
         lane: Optional[str] = None,
+        depth: Optional[int] = None,
     ) -> Optional[int]:
         """Open a journey; returns its id, or None when over the cap.
 
@@ -183,6 +188,8 @@ class JourneyTracker:
         pmem transfer) to its enclosing one.  ``lane`` suffixes the
         scenario label so journeys of very different magnitudes aggregate
         separately; parented journeys default to the ``lines`` lane.
+        ``depth`` stamps the issuing queue's in-flight count at begin
+        time (this journey excluded).
         """
         if len(self.completed) >= self.max_journeys:
             self.dropped += 1
@@ -195,7 +202,8 @@ class JourneyTracker:
         jid = self._next_jid
         self._next_jid += 1
         self._active[jid] = Journey(
-            jid, op, addr, channel, scenario, now_ps, parent=parent
+            jid, op, addr, channel, scenario, now_ps, parent=parent,
+            depth=depth,
         )
         return jid
 

@@ -93,4 +93,12 @@ def occupancy_sources(socket) -> Dict[str, Callable[[], float]]:
                 sources[f"memory.{device.name}.banks_busy"] = (
                     lambda d=device, s=sim: d.banks_busy(s.now_ps)
                 )
+                # per-bank busy flags: the contention histogram shows how
+                # evenly an address stream spreads across the rank
+                for bank in range(device.NUM_BANKS):
+                    sources[f"memory.{device.name}.bank{bank}_busy"] = (
+                        lambda d=device, b=bank, s=sim: float(
+                            d.bank_busy(b, s.now_ps)
+                        )
+                    )
     return sources

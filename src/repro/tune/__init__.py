@@ -1,0 +1,101 @@
+"""Memory-config autotuner: budgeted search over the campaign engine.
+
+A declarative :class:`TuneSpec` (JSON, schema ``repro.tune/v1``) names a
+search space over the memory subsystem's tunable knobs — Table-2-style
+buffer latency settings, DDR timing parameters, write-cache geometry,
+DMI tag/replay depths — one or more objectives, and a budget.  A
+searcher (exhaustive grid or successive halving) proposes rung batches
+that the :class:`TuneDriver` evaluates as hidden ``tune_trial`` campaign
+jobs, so every trial gets deterministic seeding, process-pool
+parallelism, retry/timeout, and content-addressed caching for free.
+Results land as ``pareto.jsonl`` + ``tune_report.csv`` artifacts whose
+bytes are independent of worker count.
+
+    from repro.tune import TuneDriver, TuneSpec
+
+    spec = TuneSpec.from_json(open("tunespecs/example.json").read())
+    report = TuneDriver(spec, seed=42, workers=4).run()
+    print(report.render())
+
+See ``docs/tuning.md`` for the spec format, the knob catalogue, and the
+artifact schemas; ``scripts/run_tune.py`` is the CLI.
+"""
+
+from .pareto import (
+    common_rung_objectives,
+    dominates,
+    front_keys,
+    mark_dominated,
+    pareto_records,
+    select_winner,
+    write_pareto,
+    write_report_csv,
+)
+from .search import (
+    BatchEntry,
+    GridSearcher,
+    SuccessiveHalvingSearcher,
+    TrialState,
+    make_searcher,
+)
+from .space import (
+    KNOBS,
+    OBJECTIVE_METRICS,
+    TUNE_SCHEMA,
+    TUNE_SCHEMA_VERSION,
+    WORKLOADS,
+    Budget,
+    Knob,
+    Objective,
+    TuneSpec,
+    canonical_config,
+    check_workload_knobs,
+    validate_config,
+)
+from .trial import materialize, objectives_of, run_tune_trial
+
+__all__ = [
+    "Budget",
+    "BatchEntry",
+    "GridSearcher",
+    "KNOBS",
+    "Knob",
+    "OBJECTIVE_METRICS",
+    "Objective",
+    "SuccessiveHalvingSearcher",
+    "TUNE_SCHEMA",
+    "TUNE_SCHEMA_VERSION",
+    "TrialState",
+    "TuneDriver",
+    "TuneReport",
+    "TuneSpec",
+    "WORKLOADS",
+    "canonical_config",
+    "check_workload_knobs",
+    "common_rung_objectives",
+    "dominates",
+    "front_keys",
+    "make_searcher",
+    "mark_dominated",
+    "materialize",
+    "objectives_of",
+    "pareto_records",
+    "run_tune_trial",
+    "select_winner",
+    "validate_config",
+    "write_pareto",
+    "write_report_csv",
+]
+
+_LAZY = {"TuneDriver", "TuneReport"}
+
+
+def __getattr__(name):
+    # the driver imports the campaign engine, whose registry imports
+    # this package for the tune_trial experiment — loading it lazily
+    # keeps that cycle one-directional at import time
+    if name in _LAZY:
+        from . import driver
+
+        return getattr(driver, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

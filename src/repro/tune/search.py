@@ -1,0 +1,152 @@
+"""Searchers: deterministic rung-batch proposers over a config population.
+
+A searcher turns a :class:`~repro.tune.space.TuneSpec` into a sequence
+of **batches** — lists of ``(config, samples, rung)`` the driver
+evaluates through the campaign engine — and folds the observed objective
+vectors back in to decide the next batch:
+
+* :class:`GridSearcher` — one rung: every config at the base budget;
+* :class:`SuccessiveHalvingSearcher` — rung ``r`` evaluates the
+  survivors at ``base_samples * eta**r`` samples, then promotes the top
+  ``1/eta`` by the *primary* objective (ties broken by canonical config
+  key, so promotion is deterministic at any worker count or completion
+  order).  Failed trials never promote.
+
+The searcher never runs anything itself; it is pure bookkeeping, which
+is what makes a half-finished run resumable — replaying the same batches
+against a warm result cache reconstructs identical state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ConfigurationError
+from .space import TuneSpec, canonical_config
+
+
+@dataclass
+class TrialState:
+    """Everything observed about one config across its rungs."""
+
+    config: Dict[str, object]
+    key: str                                   # canonical config JSON
+    rung: int = -1                             # highest evaluated rung
+    samples: int = 0                           # samples at that rung
+    objectives: Optional[Dict[str, float]] = None
+    status: str = "pending"                    # "pending" | "ok" | "failed"
+    error: Optional[str] = None
+    #: per-rung history: {"rung", "samples", "objectives"}
+    history: List[dict] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One trial the driver should evaluate now."""
+
+    key: str
+    config: Dict[str, object]
+    samples: int
+    rung: int
+
+
+class _SearcherBase:
+    """Shared population bookkeeping."""
+
+    def __init__(self, spec: TuneSpec):
+        self.spec = spec
+        self.trials: Dict[str, TrialState] = {}
+        self._order: List[str] = []
+        # the baseline config always joins rung 0, so every report can
+        # compare the winner against the seed default configuration
+        for config in [spec.baseline_config()] + spec.grid():
+            key = canonical_config(config)
+            if key not in self.trials:
+                self.trials[key] = TrialState(config=dict(config), key=key)
+                self._order.append(key)
+        self._done = False
+
+    def observe(self, results: Dict[str, Optional[Dict[str, float]]]) -> None:
+        """Fold one batch's outcomes in: ``key -> objectives`` (None = failed)."""
+        for key, objectives in results.items():
+            trial = self.trials.get(key)
+            if trial is None:
+                raise ConfigurationError(f"observed unknown trial {key!r}")
+            if objectives is None:
+                trial.status = "failed"
+                trial.objectives = None
+            else:
+                trial.status = "ok"
+                trial.objectives = dict(objectives)
+                trial.history.append(
+                    {
+                        "rung": trial.rung,
+                        "samples": trial.samples,
+                        "objectives": dict(objectives),
+                    }
+                )
+
+    def _mark_proposed(self, keys: List[str], rung: int) -> List[BatchEntry]:
+        samples = self.spec.budget.samples_at(rung)
+        batch = []
+        for key in keys:
+            trial = self.trials[key]
+            trial.rung = rung
+            trial.samples = samples
+            batch.append(BatchEntry(key, dict(trial.config), samples, rung))
+        return batch
+
+    def _ranked_ok(self, keys: List[str]) -> List[str]:
+        """Surviving keys best-first by the primary objective."""
+        primary = self.spec.objectives[0]
+        ok = [
+            k for k in keys
+            if self.trials[k].status == "ok" and self.trials[k].objectives
+        ]
+        return sorted(
+            ok,
+            key=lambda k: (primary.key(self.trials[k].objectives[primary.metric]), k),
+        )
+
+
+class GridSearcher(_SearcherBase):
+    """Exhaustive: every config once, at the base budget."""
+
+    def next_batch(self) -> Optional[List[BatchEntry]]:
+        if self._done:
+            return None
+        self._done = True
+        return self._mark_proposed(list(self._order), rung=0)
+
+
+class SuccessiveHalvingSearcher(_SearcherBase):
+    """Rung-based promotion: survivors shrink by eta, budgets grow by it."""
+
+    def __init__(self, spec: TuneSpec):
+        super().__init__(spec)
+        self._rung = 0
+        self._survivors = list(self._order)
+
+    def next_batch(self) -> Optional[List[BatchEntry]]:
+        if self._done:
+            return None
+        if self._rung > 0:
+            ranked = self._ranked_ok(self._survivors)
+            if not ranked:
+                self._done = True  # everything failed; nothing to promote
+                return None
+            keep = max(1, math.floor(len(ranked) / self.spec.budget.eta))
+            self._survivors = ranked[:keep]
+        batch = self._mark_proposed(list(self._survivors), self._rung)
+        self._rung += 1
+        if self._rung >= self.spec.budget.rungs:
+            self._done = True
+        return batch
+
+
+def make_searcher(spec: TuneSpec):
+    if spec.searcher == "grid":
+        return GridSearcher(spec)
+    return SuccessiveHalvingSearcher(spec)

@@ -1,0 +1,405 @@
+"""Declarative tuning specs: knobs, search space, objectives, budget.
+
+A :class:`TuneSpec` (JSON, schema ``repro.tune/v1``) names everything a
+tuning run needs:
+
+* a **search space** — lists of candidate values for registered *knobs*,
+  each a validated, serializable path into the built system: Table-2-style
+  buffer latency settings, the ConTutto latency knob, DDR timing
+  parameters, DMI tag/replay depths, and write-cache geometry;
+* one or more **objectives** — metrics of the trial result
+  (:mod:`repro.tune.trial`) with a ``min``/``max`` goal; the first
+  objective is *primary* (it drives successive-halving promotion), the
+  full vector decides Pareto dominance;
+* a **budget** — samples per trial at rung 0, the rung count, and the
+  halving factor ``eta`` (survivors per rung shrink by ``eta`` while
+  samples grow by it).
+
+Knob values are validated *before* any simulation runs — an out-of-range
+value raises :class:`~repro.errors.ConfigurationError` at spec load, not
+three rungs into a campaign.  Configs serialize canonically (sorted keys,
+no whitespace) so a config string is a stable identity for seeding,
+caching, and artifact ordering.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..dmi.frames import SEQ_MOD
+from ..errors import ConfigurationError
+from ..fpga.latency_knob import MAX_POSITION
+
+TUNE_SCHEMA = "repro.tune/v1"
+TUNE_SCHEMA_VERSION = 1
+
+#: workloads a trial can run (see repro.tune.trial)
+WORKLOADS = ("mem_read", "mem_write", "gpfs_write")
+
+#: metrics a trial reports; any of them can be an objective
+OBJECTIVE_METRICS = (
+    "p99_ns",
+    "p50_ns",
+    "mean_ns",
+    "max_ns",
+    "throughput_ops_s",
+    "occupancy",
+    "throughput_per_occupancy",
+)
+
+#: DDR timing grades a config may select
+DDR_GRADES = ("ddr3_1066", "ddr3_1333", "ddr3_1600")
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One tunable axis: name, type, and the legal value range."""
+
+    name: str
+    kind: str                             # "int" | "float" | "bool" | "choice"
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+    choices: Tuple[str, ...] = ()
+    doc: str = ""
+
+    def validate(self, value):
+        """Normalize ``value`` or raise :class:`ConfigurationError`."""
+        if self.kind == "bool":
+            if not isinstance(value, bool):
+                raise ConfigurationError(
+                    f"knob {self.name}: expected true/false, got {value!r}"
+                )
+            return value
+        if self.kind == "choice":
+            if value not in self.choices:
+                raise ConfigurationError(
+                    f"knob {self.name}: {value!r} not one of "
+                    f"{', '.join(self.choices)}"
+                )
+            return value
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"knob {self.name}: expected a number, got {value!r}"
+            )
+        if self.kind == "int":
+            if int(value) != value:
+                raise ConfigurationError(
+                    f"knob {self.name}: expected an integer, got {value!r}"
+                )
+            value = int(value)
+        else:
+            value = float(value)
+        if not self.lo <= value <= self.hi:
+            raise ConfigurationError(
+                f"knob {self.name}: {value} outside [{self.lo}, {self.hi}]"
+            )
+        return value
+
+
+#: every knob a search space may name, with its validated range
+KNOBS: Dict[str, Knob] = {
+    knob.name: knob
+    for knob in (
+        # Centaur buffer settings (the Table 2 axis)
+        Knob("centaur.extra_delay_ns", "float", 0, 1_000,
+             doc="command pacing added by the buffer setting"),
+        Knob("centaur.cache_enabled", "bool",
+             doc="16 MB eDRAM cache on/off"),
+        Knob("centaur.prefetch_enabled", "bool",
+             doc="next-line prefetch into the eDRAM cache"),
+        # ConTutto latency knob (the Table 3 axis, fpga/latency_knob.py)
+        Knob("fpga.knob_position", "int", 0, MAX_POSITION,
+             doc="delay modules between MBS and the Avalon bus"),
+        # DDR timing
+        Knob("ddr.grade", "choice", choices=DDR_GRADES,
+             doc="DIMM timing grade preset"),
+        Knob("ddr.cl_cycles", "int", 4, 20, doc="CAS latency override"),
+        Knob("ddr.trcd_cycles", "int", 4, 20, doc="activate delay override"),
+        Knob("ddr.trp_cycles", "int", 4, 20, doc="precharge delay override"),
+        # DMI channel depths
+        Knob("dmi.num_tags", "int", 1, 64,
+             doc="host command-tag window (hardware: 32)"),
+        Knob("dmi.replay_depth", "int", 1, SEQ_MOD - 1,
+             doc="unacknowledged frames in flight per endpoint"),
+        # write-cache geometry (gpfs_write workload)
+        Knob("wcache.segment_bytes", "int", 64 << 10, 64 << 20,
+             doc="log segment size: one destage IO"),
+        Knob("wcache.segments", "int", 2, 256,
+             doc="segments in the NVM log"),
+        Knob("wcache.destage_threshold", "int", 1, 64,
+             doc="full segments that trigger destaging"),
+    )
+}
+
+
+def validate_config(config: Dict[str, object]) -> Dict[str, object]:
+    """Validate a knob→value mapping; returns the normalized config.
+
+    Rejects unknown knobs, out-of-range values, and configs that mix
+    Centaur settings with the ConTutto knob (one buffer kind per trial).
+    """
+    if not isinstance(config, dict):
+        raise ConfigurationError(f"config must be an object, got {config!r}")
+    out: Dict[str, object] = {}
+    for name in sorted(config):
+        knob = KNOBS.get(name)
+        if knob is None:
+            raise ConfigurationError(
+                f"unknown knob {name!r} (known: {', '.join(sorted(KNOBS))})"
+            )
+        out[name] = knob.validate(config[name])
+    if any(k.startswith("centaur.") for k in out) and any(
+        k.startswith("fpga.") for k in out
+    ):
+        raise ConfigurationError(
+            "a config drives one buffer kind: centaur.* and fpga.* knobs "
+            "are mutually exclusive"
+        )
+    return out
+
+
+def canonical_config(config: Dict[str, object]) -> str:
+    """The canonical JSON identity of a validated config."""
+    return json.dumps(
+        validate_config(config), sort_keys=True, separators=(",", ":")
+    )
+
+
+def check_workload_knobs(workload: str, names) -> None:
+    """Reject knobs the workload cannot exercise.
+
+    The write-cache workload never touches the memory path and vice
+    versa, so a mismatched knob would silently tune nothing — fail fast
+    instead.
+    """
+    wcache = sorted(n for n in names if n.startswith("wcache."))
+    other = sorted(n for n in names if not n.startswith("wcache."))
+    if workload == "gpfs_write" and other:
+        raise ConfigurationError(
+            f"workload gpfs_write only exercises wcache.* knobs; "
+            f"{', '.join(other)} would have no effect"
+        )
+    if workload != "gpfs_write" and wcache:
+        raise ConfigurationError(
+            f"workload {workload} does not touch the write cache; "
+            f"{', '.join(wcache)} would have no effect"
+        )
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimization target: a trial metric and a direction."""
+
+    metric: str
+    goal: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.metric not in OBJECTIVE_METRICS:
+            raise ConfigurationError(
+                f"unknown objective metric {self.metric!r} "
+                f"(known: {', '.join(OBJECTIVE_METRICS)})"
+            )
+        if self.goal not in ("min", "max"):
+            raise ConfigurationError(
+                f"objective {self.metric}: goal must be 'min' or 'max', "
+                f"got {self.goal!r}"
+            )
+
+    def key(self, value: float) -> float:
+        """A sort key where smaller is always better."""
+        return -value if self.goal == "max" else value
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Trial budget: samples per rung and the halving geometry."""
+
+    base_samples: int = 8
+    rungs: int = 1
+    eta: int = 2
+
+    def __post_init__(self) -> None:
+        if self.base_samples < 2:
+            raise ConfigurationError(
+                f"budget base_samples must be >= 2, got {self.base_samples}"
+            )
+        if self.rungs < 1:
+            raise ConfigurationError(f"budget rungs must be >= 1, got {self.rungs}")
+        if self.eta < 2:
+            raise ConfigurationError(f"budget eta must be >= 2, got {self.eta}")
+
+    def samples_at(self, rung: int) -> int:
+        """Per-trial samples at a rung (grows by ``eta`` per promotion)."""
+        return self.base_samples * self.eta**rung
+
+
+@dataclass(frozen=True)
+class TuneSpec:
+    """A complete, validated tuning request."""
+
+    name: str
+    workload: str
+    space: Tuple[Tuple[str, Tuple[object, ...]], ...]
+    objectives: Tuple[Objective, ...]
+    searcher: str = "halving"
+    budget: Budget = Budget()
+    depth: int = 4
+    baseline: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("-", "").replace(
+            "_", ""
+        ).isalnum():
+            raise ConfigurationError(
+                f"spec name must be a non-empty slug, got {self.name!r}"
+            )
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r} "
+                f"(known: {', '.join(WORKLOADS)})"
+            )
+        if self.searcher not in ("grid", "halving"):
+            raise ConfigurationError(
+                f"searcher must be 'grid' or 'halving', got {self.searcher!r}"
+            )
+        if not self.objectives:
+            raise ConfigurationError("spec needs at least one objective")
+        metrics = [o.metric for o in self.objectives]
+        if len(set(metrics)) != len(metrics):
+            raise ConfigurationError("objective metrics must be unique")
+        if not self.space:
+            raise ConfigurationError("spec needs a non-empty search space")
+        if self.depth < 1:
+            raise ConfigurationError(f"depth must be >= 1, got {self.depth}")
+        for name, values in self.space:
+            knob = KNOBS.get(name)
+            if knob is None:
+                raise ConfigurationError(
+                    f"unknown knob {name!r} in search space "
+                    f"(known: {', '.join(sorted(KNOBS))})"
+                )
+            if not values:
+                raise ConfigurationError(f"knob {name}: empty candidate list")
+            for value in values:
+                knob.validate(value)
+        validate_config(dict(self.baseline))
+        check_workload_knobs(
+            self.workload,
+            [name for name, _ in self.space]
+            + [name for name, _ in self.baseline],
+        )
+        for config in self.grid():
+            validate_config(config)
+
+    # -- enumeration --------------------------------------------------------
+
+    def grid(self) -> List[Dict[str, object]]:
+        """Every config in the space's cross product, in canonical order."""
+        ordered = sorted(self.space)
+        names = [name for name, _ in ordered]
+        out = []
+        for combo in itertools.product(*(values for _, values in ordered)):
+            out.append(dict(zip(names, combo)))
+        return out
+
+    def baseline_config(self) -> Dict[str, object]:
+        return dict(self.baseline)
+
+    # -- serialization ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TuneSpec":
+        if not isinstance(raw, dict):
+            raise ConfigurationError("tune spec must be a JSON object")
+        schema = raw.get("schema", TUNE_SCHEMA)
+        if schema != TUNE_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported tune schema {schema!r} (expected {TUNE_SCHEMA})"
+            )
+        unknown = set(raw) - {
+            "schema", "name", "workload", "space", "objectives",
+            "searcher", "budget", "depth", "baseline",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown tune spec fields: {', '.join(sorted(unknown))}"
+            )
+        space = raw.get("space", {})
+        if not isinstance(space, dict):
+            raise ConfigurationError("space must be an object of value lists")
+        objectives = raw.get("objectives", [])
+        if not isinstance(objectives, list):
+            raise ConfigurationError("objectives must be a list")
+        parsed_objectives = []
+        for entry in objectives:
+            if isinstance(entry, str):
+                # "p99_ns" or "min:p99_ns" / "max:throughput_ops_s"
+                goal, _, metric = entry.rpartition(":")
+                entry = {"metric": metric} if not goal else {
+                    "metric": metric, "goal": goal,
+                }
+            if not isinstance(entry, dict):
+                raise ConfigurationError(f"bad objective entry {entry!r}")
+            parsed_objectives.append(
+                Objective(
+                    str(entry.get("metric", "")),
+                    str(entry.get("goal", "min")),
+                )
+            )
+        budget_raw = raw.get("budget", {})
+        if not isinstance(budget_raw, dict):
+            raise ConfigurationError("budget must be an object")
+        budget = Budget(
+            base_samples=int(budget_raw.get("base_samples", 8)),
+            rungs=int(budget_raw.get("rungs", 1)),
+            eta=int(budget_raw.get("eta", 2)),
+        )
+        baseline = raw.get("baseline", {})
+        if not isinstance(baseline, dict):
+            raise ConfigurationError("baseline must be a config object")
+        return cls(
+            name=str(raw.get("name", "")),
+            workload=str(raw.get("workload", "mem_read")),
+            space=tuple(
+                (str(k), tuple(v) if isinstance(v, list) else (v,))
+                for k, v in sorted(space.items())
+            ),
+            objectives=tuple(parsed_objectives),
+            searcher=str(raw.get("searcher", "halving")),
+            budget=budget,
+            depth=int(raw.get("depth", 4)),
+            baseline=tuple(sorted(baseline.items())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuneSpec":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"tune spec is not valid JSON: {exc}")
+        return cls.from_dict(raw)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": TUNE_SCHEMA,
+            "name": self.name,
+            "workload": self.workload,
+            "space": {name: list(values) for name, values in self.space},
+            "objectives": [
+                {"metric": o.metric, "goal": o.goal} for o in self.objectives
+            ],
+            "searcher": self.searcher,
+            "budget": {
+                "base_samples": self.budget.base_samples,
+                "rungs": self.budget.rungs,
+                "eta": self.budget.eta,
+            },
+            "depth": self.depth,
+            "baseline": dict(self.baseline),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))

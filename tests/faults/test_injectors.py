@@ -19,6 +19,7 @@ ALL_INJECTORS = [
     "dmi.bit_errors",
     "dmi.degrade",
     "dmi.frame_drop",
+    "fpga.clock_jitter",
     "memory.bank_fault",
     "memory.bit_flips",
     "memory.scrub_storm",
@@ -214,3 +215,55 @@ class TestEngineStall:
         assert pool.free_count == free_before - 2
         assert injector.recover(system.sim.now_ps) == "recovered"
         assert pool.free_count == free_before
+
+
+class TestClockJitter:
+    def _read_mean_ps(self, system, reads=8):
+        from repro.units import CACHE_LINE_BYTES
+        region = system.region_for_slot(0)
+        total = 0
+        for i in range(reads):
+            addr = region.base + i * CACHE_LINE_BYTES
+            t0 = system.sim.now_ps
+            signal = system.socket.read_line(addr)
+            system.sim.run_until_signal(signal, timeout_ps=10**12)
+            total += system.sim.now_ps - t0
+        return total / reads
+
+    def test_jitter_installed_and_restored(self):
+        system = build()
+        mbs = system.cards[0].buffer.mbs
+        injector = bound(system, FaultSpec(
+            "fpga.clock_jitter", target="0", params=(("jitter_ps", 5_000),)))
+        assert injector.inject(system.sim.now_ps) == "injected"
+        assert mbs.jitter_ps == 5_000 and mbs.jitter_rng is not None
+        assert injector.recover(system.sim.now_ps) == "recovered"
+        assert mbs.jitter_ps == 0 and mbs.jitter_rng is None
+        assert injector.recover(system.sim.now_ps) == "noop"
+
+    def test_jitter_slows_reads_deterministically(self):
+        clean = self._read_mean_ps(build())
+
+        def jittered():
+            system = build()
+            injector = bound(system, FaultSpec(
+                "fpga.clock_jitter", params=(("jitter_ps", 50_000),)))
+            injector.inject(system.sim.now_ps)
+            return self._read_mean_ps(system)
+
+        assert jittered() > clean        # late-only: jitter can't speed up
+        assert jittered() == jittered()  # forked rng keeps runs repeatable
+
+    def test_centaur_only_system_skips(self):
+        system = ContuttoSystem.build(
+            [CardSpec(slot=0, kind="centaur")], seed=0
+        )
+        injector = bound(system, FaultSpec("fpga.clock_jitter"))
+        assert injector.inject(0) == "skipped"
+
+    def test_negative_jitter_rejected(self):
+        system = build()
+        injector = bound(system, FaultSpec(
+            "fpga.clock_jitter", params=(("jitter_ps", -1),)))
+        with pytest.raises(ConfigurationError):
+            injector.inject(0)

@@ -144,6 +144,20 @@ class TestAttribution:
         assert snap["occupancy.samples"] > 0
         assert any(k.startswith("occupancy.dmi.") for k in snap)
         assert any(k.startswith("occupancy.memory.") for k in snap)
+        # per-bank busy sources ride along with the aggregate banks_busy
+        assert any(".bank0_busy" in k for k in snap)
+
+    def test_journeys_carry_queue_depth_at_issue(self, traced_table3):
+        from repro.telemetry.attribution.artifact import journey_record
+
+        session, _ = traced_table3
+        journeys = session.journeys.completed
+        # every line command passes the host MC, which stamps the tag
+        # window's in-flight count (this command excluded) at issue time
+        assert journeys and all(j.depth is not None for j in journeys)
+        assert all(0 <= j.depth < 64 for j in journeys)
+        records = [journey_record(j) for j in journeys]
+        assert all("depth" in r for r in records)
 
 
 class TestCli:
@@ -197,6 +211,12 @@ class TestCli:
         assert "Stage deltas" in check.stdout
         # centaur is auto-picked as the delta baseline
         assert "- centaur (" in check.stdout
+        # depth-annotated DMI journeys unlock the contention tables
+        assert "DRAM bank contention: contutto_base" in check.stdout
+        assert "hottest bank holds" in check.stdout
+        assert "Queue depth vs latency: contutto_base" in check.stdout
+        # table3 issues serially, so depth is constant and r is undefined
+        assert "correlation undefined" in check.stdout
 
     def test_unknown_experiment_is_a_clean_error(self):
         proc = run_script("trace_experiment.py", "table99")

@@ -1,0 +1,121 @@
+"""Pareto dominance edge cases and the budget-matched comparison rule."""
+
+from repro.tune import (
+    Objective,
+    TrialState,
+    common_rung_objectives,
+    dominates,
+    front_keys,
+    mark_dominated,
+    select_winner,
+)
+
+MIN_P99 = (Objective("p99_ns", "min"),)
+BOTH = (Objective("p99_ns", "min"), Objective("throughput_ops_s", "max"))
+
+
+def trial(key, history, status="ok"):
+    """A TrialState whose rung history is ``{rung: objectives}``."""
+    last = max(history) if history else -1
+    return TrialState(
+        config={}, key=key, rung=last,
+        samples=4 * 2 ** last if history else 0,
+        objectives=dict(history[last]) if history else None,
+        status=status,
+        history=[
+            {"rung": r, "samples": 4 * 2 ** r, "objectives": dict(history[r])}
+            for r in sorted(history)
+        ],
+    )
+
+
+class TestDominates:
+    def test_strictly_better_on_one_equal_on_other(self):
+        a = {"p99_ns": 100.0, "throughput_ops_s": 10.0}
+        b = {"p99_ns": 120.0, "throughput_ops_s": 10.0}
+        assert dominates(a, b, BOTH)
+        assert not dominates(b, a, BOTH)
+
+    def test_equal_vectors_do_not_dominate(self):
+        a = {"p99_ns": 100.0, "throughput_ops_s": 10.0}
+        assert not dominates(a, dict(a), BOTH)
+
+    def test_tradeoff_means_no_domination(self):
+        fast = {"p99_ns": 100.0, "throughput_ops_s": 5.0}
+        wide = {"p99_ns": 200.0, "throughput_ops_s": 50.0}
+        assert not dominates(fast, wide, BOTH)
+        assert not dominates(wide, fast, BOTH)
+
+    def test_max_goal_inverts_direction(self):
+        more = {"throughput_ops_s": 50.0}
+        less = {"throughput_ops_s": 5.0}
+        goal = (Objective("throughput_ops_s", "max"),)
+        assert dominates(more, less, goal)
+        assert not dominates(less, more, goal)
+
+
+class TestFront:
+    def test_tied_configs_all_on_front(self):
+        trials = [
+            trial("a", {0: {"p99_ns": 100.0}}),
+            trial("b", {0: {"p99_ns": 100.0}}),
+            trial("c", {0: {"p99_ns": 150.0}}),
+        ]
+        assert front_keys(trials, MIN_P99) == ["a", "b"]
+
+    def test_single_objective_degenerates_to_best(self):
+        trials = [
+            trial("a", {0: {"p99_ns": 90.0}}),
+            trial("b", {0: {"p99_ns": 100.0}}),
+            trial("c", {0: {"p99_ns": 110.0}}),
+        ]
+        assert front_keys(trials, MIN_P99) == ["a"]
+
+    def test_tradeoff_keeps_both(self):
+        trials = [
+            trial("fast", {0: {"p99_ns": 100.0, "throughput_ops_s": 5.0}}),
+            trial("wide", {0: {"p99_ns": 200.0, "throughput_ops_s": 50.0}}),
+            trial("bad", {0: {"p99_ns": 300.0, "throughput_ops_s": 1.0}}),
+        ]
+        assert front_keys(trials, BOTH) == ["fast", "wide"]
+
+    def test_failed_trials_excluded(self):
+        trials = [
+            trial("a", {0: {"p99_ns": 100.0}}),
+            trial("x", {}, status="failed"),
+        ]
+        assert front_keys(trials, MIN_P99) == ["a"]
+        assert "x" not in mark_dominated(trials, MIN_P99)
+
+
+class TestBudgetMatching:
+    def test_comparison_uses_deepest_common_rung(self):
+        # deep went to rung 1 where its 8-sample p99 probes a longer
+        # tail (worse absolute number); shallow only ran rung 0
+        deep = trial("deep", {0: {"p99_ns": 90.0}, 1: {"p99_ns": 140.0}})
+        shallow = trial("shallow", {0: {"p99_ns": 100.0}})
+        pair = common_rung_objectives(deep, shallow)
+        assert pair == ({"p99_ns": 90.0}, {"p99_ns": 100.0})
+        # judged at rung 0, deep wins despite its larger final value
+        assert front_keys([deep, shallow], MIN_P99) == ["deep"]
+
+    def test_disjoint_histories_never_dominate(self):
+        a = trial("a", {0: {"p99_ns": 100.0}})
+        b = trial("b", {1: {"p99_ns": 999.0}})
+        assert common_rung_objectives(a, b) is None
+        assert front_keys([a, b], MIN_P99) == ["a", "b"]
+
+
+class TestWinner:
+    def test_winner_among_deepest_rung_only(self):
+        promoted = trial("p", {0: {"p99_ns": 95.0}, 1: {"p99_ns": 140.0}})
+        dropped = trial("d", {0: {"p99_ns": 100.0}})
+        assert select_winner([promoted, dropped], MIN_P99).key == "p"
+
+    def test_ties_break_on_canonical_key(self):
+        a = trial("a", {0: {"p99_ns": 100.0}})
+        b = trial("b", {0: {"p99_ns": 100.0}})
+        assert select_winner([b, a], MIN_P99).key == "a"
+
+    def test_all_failed_yields_none(self):
+        assert select_winner([trial("x", {}, status="failed")], MIN_P99) is None

@@ -1,0 +1,105 @@
+"""Searcher bookkeeping: grid enumeration and halving promotion."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tune import TuneSpec, make_searcher
+
+
+def make_spec(**overrides):
+    raw = {
+        "name": "s",
+        "workload": "mem_read",
+        "space": {
+            "centaur.extra_delay_ns": [0, 4],
+            "dmi.num_tags": [8, 32],
+        },
+        "objectives": ["min:p99_ns"],
+        "searcher": "halving",
+        "budget": {"base_samples": 4, "rungs": 3, "eta": 2},
+    }
+    raw.update(overrides)
+    return TuneSpec.from_dict(raw)
+
+
+def observe(searcher, batch, p99_by_key):
+    searcher.observe({
+        e.key: (
+            None if p99_by_key[e.key] is None
+            else {"p99_ns": p99_by_key[e.key]}
+        )
+        for e in batch
+    })
+
+
+class TestGrid:
+    def test_everything_once_at_base_budget(self):
+        searcher = make_searcher(make_spec(searcher="grid"))
+        batch = searcher.next_batch()
+        # 4 grid configs + the implicit {} baseline
+        assert len(batch) == 5
+        assert all(e.rung == 0 and e.samples == 4 for e in batch)
+        observe(searcher, batch, {e.key: 100.0 for e in batch})
+        assert searcher.next_batch() is None
+
+
+class TestHalving:
+    def test_rung_geometry(self):
+        searcher = make_searcher(make_spec())
+        r0 = searcher.next_batch()
+        assert len(r0) == 5 and r0[0].samples == 4
+        observe(searcher, r0, {e.key: 100.0 + i for i, e in enumerate(r0)})
+        r1 = searcher.next_batch()
+        assert len(r1) == 2 and all(e.samples == 8 for e in r1)
+        observe(searcher, r1, {e.key: 50.0 for e in r1})
+        r2 = searcher.next_batch()
+        assert len(r2) == 1 and r2[0].samples == 16
+        observe(searcher, r2, {r2[0].key: 40.0})
+        assert searcher.next_batch() is None
+
+    def test_promotion_keeps_the_best_by_primary(self):
+        searcher = make_searcher(make_spec())
+        r0 = searcher.next_batch()
+        scores = {e.key: float(200 - 10 * i) for i, e in enumerate(r0)}
+        observe(searcher, r0, scores)
+        promoted = {e.key for e in searcher.next_batch()}
+        best_two = sorted(scores, key=lambda k: (scores[k], k))[:2]
+        assert promoted == set(best_two)
+
+    def test_promotion_ties_break_on_key(self):
+        searcher = make_searcher(make_spec())
+        r0 = searcher.next_batch()
+        observe(searcher, r0, {e.key: 100.0 for e in r0})
+        promoted = [e.key for e in searcher.next_batch()]
+        assert promoted == sorted(e.key for e in r0)[:2]
+
+    def test_failed_trials_never_promote(self):
+        searcher = make_searcher(make_spec())
+        r0 = searcher.next_batch()
+        scores = {e.key: 100.0 for e in r0}
+        scores[sorted(scores)[0]] = None  # best-sorting key fails
+        observe(searcher, r0, scores)
+        promoted = {e.key for e in searcher.next_batch()}
+        assert sorted(scores)[0] not in promoted
+
+    def test_all_failed_stops_the_search(self):
+        searcher = make_searcher(make_spec())
+        r0 = searcher.next_batch()
+        observe(searcher, r0, {e.key: None for e in r0})
+        assert searcher.next_batch() is None
+
+    def test_history_accumulates_per_rung(self):
+        searcher = make_searcher(make_spec())
+        r0 = searcher.next_batch()
+        observe(searcher, r0, {e.key: 100.0 for e in r0})
+        r1 = searcher.next_batch()
+        observe(searcher, r1, {e.key: 90.0 for e in r1})
+        survivor = searcher.trials[r1[0].key]
+        assert [h["rung"] for h in survivor.history] == [0, 1]
+        assert [h["samples"] for h in survivor.history] == [4, 8]
+
+    def test_observe_unknown_trial_rejected(self):
+        searcher = make_searcher(make_spec())
+        searcher.next_batch()
+        with pytest.raises(ConfigurationError, match="unknown trial"):
+            searcher.observe({"{}bogus": {"p99_ns": 1.0}})

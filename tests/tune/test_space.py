@@ -1,0 +1,127 @@
+"""TuneSpec validation: knobs, objectives, budget, serialization."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tune import (
+    Budget,
+    Objective,
+    TuneSpec,
+    canonical_config,
+    validate_config,
+)
+
+
+def make_spec(**overrides):
+    raw = {
+        "name": "t",
+        "workload": "mem_read",
+        "space": {"centaur.extra_delay_ns": [0, 8]},
+        "objectives": ["min:p99_ns"],
+        "budget": {"base_samples": 4, "rungs": 1, "eta": 2},
+    }
+    raw.update(overrides)
+    return TuneSpec.from_dict(raw)
+
+
+class TestConfigValidation:
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown knob"):
+            validate_config({"centaur.bogus": 1})
+
+    @pytest.mark.parametrize("name,value", [
+        ("centaur.extra_delay_ns", -1),
+        ("centaur.extra_delay_ns", 1_001),
+        ("fpga.knob_position", 8),
+        ("fpga.knob_position", -1),
+        ("dmi.num_tags", 0),
+        ("dmi.num_tags", 65),
+        ("dmi.replay_depth", 0),
+        ("ddr.cl_cycles", 3),
+        ("ddr.cl_cycles", 21),
+        ("wcache.segment_bytes", 1024),
+        ("wcache.segments", 1),
+        ("wcache.destage_threshold", 0),
+    ])
+    def test_out_of_range_rejected(self, name, value):
+        with pytest.raises(ConfigurationError, match="outside"):
+            validate_config({name: value})
+
+    def test_type_mismatches_rejected(self):
+        with pytest.raises(ConfigurationError, match="true/false"):
+            validate_config({"centaur.cache_enabled": 1})
+        with pytest.raises(ConfigurationError, match="integer"):
+            validate_config({"dmi.num_tags": 8.5})
+        with pytest.raises(ConfigurationError, match="number"):
+            validate_config({"fpga.knob_position": "3"})
+        with pytest.raises(ConfigurationError, match="not one of"):
+            validate_config({"ddr.grade": "ddr5_4800"})
+
+    def test_buffer_kinds_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            validate_config({
+                "centaur.extra_delay_ns": 4, "fpga.knob_position": 2,
+            })
+
+    def test_canonical_config_is_sorted_and_stable(self):
+        a = canonical_config({"dmi.num_tags": 8, "ddr.grade": "ddr3_1600"})
+        b = canonical_config({"ddr.grade": "ddr3_1600", "dmi.num_tags": 8})
+        assert a == b
+        assert a.index("ddr.grade") < a.index("dmi.num_tags")
+
+
+class TestSpecParsing:
+    def test_objective_shorthand(self):
+        spec = make_spec(objectives=["p50_ns", "max:throughput_ops_s"])
+        assert spec.objectives == (
+            Objective("p50_ns", "min"),
+            Objective("throughput_ops_s", "max"),
+        )
+
+    def test_unknown_objective_metric_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown objective"):
+            make_spec(objectives=["min:latency"])
+
+    def test_bad_goal_rejected(self):
+        with pytest.raises(ConfigurationError, match="goal"):
+            make_spec(objectives=["best:p99_ns"])
+
+    def test_workload_knob_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError, match="no effect"):
+            make_spec(space={"wcache.segments": [4, 8]})
+        with pytest.raises(ConfigurationError, match="no effect"):
+            make_spec(
+                workload="gpfs_write", space={"dmi.num_tags": [8, 16]},
+            )
+
+    def test_out_of_range_space_value_rejected_at_load(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            make_spec(space={"dmi.num_tags": [8, 128]})
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigurationError, match="base_samples"):
+            Budget(base_samples=1)
+        with pytest.raises(ConfigurationError, match="rungs"):
+            Budget(rungs=0)
+        with pytest.raises(ConfigurationError, match="eta"):
+            Budget(eta=1)
+        assert Budget(base_samples=4, eta=3).samples_at(2) == 36
+
+    def test_grid_is_cross_product_in_canonical_order(self):
+        spec = make_spec(space={
+            "centaur.extra_delay_ns": [0, 8], "dmi.num_tags": [4, 16],
+        })
+        assert [sorted(c.items()) for c in spec.grid()] == [
+            [("centaur.extra_delay_ns", 0), ("dmi.num_tags", 4)],
+            [("centaur.extra_delay_ns", 0), ("dmi.num_tags", 16)],
+            [("centaur.extra_delay_ns", 8), ("dmi.num_tags", 4)],
+            [("centaur.extra_delay_ns", 8), ("dmi.num_tags", 16)],
+        ]
+
+    def test_json_round_trip(self):
+        spec = make_spec(baseline={"centaur.extra_delay_ns": 0})
+        assert TuneSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown tune spec"):
+            make_spec(objective="p99_ns")

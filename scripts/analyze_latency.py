@@ -35,33 +35,12 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-from pathlib import Path
 
 from repro.core.results import ResultTable
+from repro.errors import ArtifactError
 from repro.memory import DdrDram
-from repro.telemetry import LatencyBreakdown, merge_attribution, read_attribution
-from repro.telemetry.attribution import journey_records
-
-
-def resolve_input(arg: str) -> Path:
-    """Accept a JSONL file or a directory holding ``attribution.jsonl``."""
-    path = Path(arg)
-    if path.is_dir():
-        candidate = path / "attribution.jsonl"
-        if not candidate.exists():
-            raise FileNotFoundError(f"{path} has no attribution.jsonl")
-        return candidate
-    if not path.exists():
-        raise FileNotFoundError(path)
-    return path
-
-
-def load_journeys(paths) -> list:
-    """Journey records across all inputs (merged when there are several)."""
-    if len(paths) == 1:
-        return journey_records(read_attribution(str(paths[0])))
-    sources = [(str(p), journey_records(read_attribution(str(p)))) for p in paths]
-    return journey_records(merge_attribution(sources))
+from repro.report import load_journeys, resolve_artifact
+from repro.telemetry import LatencyBreakdown
 
 
 def pick_baseline(scenarios, requested=None) -> str:
@@ -258,22 +237,28 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--check", action="store_true",
         help="exit non-zero if the breakdown's self-check reports warnings",
     )
+    parser.add_argument(
+        "--lenient", action="store_true",
+        help="skip (but report) malformed artifact lines instead of failing",
+    )
     return parser.parse_args(argv)
 
 
 def main(argv=None) -> int:
     args = parse_args(argv)
     try:
-        paths = [resolve_input(arg) for arg in args.inputs]
-    except FileNotFoundError as exc:
+        paths = [resolve_artifact(arg) for arg in args.inputs]
+        journeys, load_warnings = load_journeys(
+            paths, malformed="skip" if args.lenient else "error"
+        )
+    except ArtifactError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    journeys = load_journeys(paths)
     breakdown = LatencyBreakdown()
     breakdown.add_records(journeys)
 
-    warnings = breakdown.check(tolerance=args.tolerance)
+    warnings = load_warnings + breakdown.check(tolerance=args.tolerance)
     scenarios = breakdown.scenarios()
     if args.scenario:
         missing = [s for s in args.scenario if s not in scenarios]

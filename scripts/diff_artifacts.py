@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Compare two suite reports and emit a PASS/WARN/FAIL verdict.
+
+    python scripts/diff_artifacts.py baseline-out/ new-out/
+    python scripts/diff_artifacts.py a/report.json b/report.json --json d.json
+    python scripts/diff_artifacts.py a/ b/ --tolerance latency=0.05:0.2
+
+Inputs are ``report.json`` files (or suite output directories containing
+one) produced by ``scripts/run_suite.py``.  Every comparable metric the
+reports share is graded against per-class relative tolerances —
+``latency`` (``*_ps``/``*_ms``), ``share`` (shares, rates, occupancy),
+``count`` (everything integral) — and the worst finding is the verdict:
+
+* **PASS** (exit 0): every delta within its warn tolerance;
+* **WARN** (exit 0): drift worth a look, but inside the fail tolerance —
+  also the cap for percentile deltas whose sample budgets differ;
+* **FAIL** (exit 1): a delta past the fail tolerance, or a metric that
+  existed in the baseline and is missing from the new run.
+
+The verdict is deterministic: same two reports, same tolerances, same
+output bytes — at any worker count — so the exit code is usable as a CI
+regression gate.  Semantics reference: docs/reports.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ArtifactError
+from repro.report import DEFAULT_TOLERANCES, diff_reports, load_report, render_diff
+
+
+def parse_tolerance(text: str):
+    """Parse one ``class=warn:fail`` override."""
+    try:
+        klass, bounds = text.split("=", 1)
+        warn, fail = (float(b) for b in bounds.split(":", 1))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected class=warn:fail (e.g. latency=0.05:0.2), got {text!r}"
+        )
+    if klass not in DEFAULT_TOLERANCES:
+        raise argparse.ArgumentTypeError(
+            f"unknown metric class {klass!r} "
+            f"(known: {', '.join(sorted(DEFAULT_TOLERANCES))})"
+        )
+    if not 0 <= warn <= fail:
+        raise argparse.ArgumentTypeError(
+            f"{text!r}: need 0 <= warn <= fail"
+        )
+    return klass, (warn, fail)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "baseline", help="baseline report.json (or suite out dir)",
+    )
+    parser.add_argument(
+        "new", help="new report.json (or suite out dir) graded against it",
+    )
+    parser.add_argument(
+        "--tolerance", action="append", type=parse_tolerance, metavar="C=W:F",
+        help="override one metric class's warn:fail relative tolerances "
+             "(repeatable; classes: latency, share, count)",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the full finding list as JSON",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=40, metavar="N",
+        help="findings shown in the text rendering (default 40)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    try:
+        baseline = load_report(args.baseline)
+        new = load_report(args.new)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    tolerances = dict(args.tolerance) if args.tolerance else None
+    result = diff_reports(baseline, new, tolerances=tolerances)
+    print(render_diff(result, limit=args.limit))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.to_record(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 1 if result.verdict == "FAIL" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,7 @@ from repro.campaign import (
     apply_fault_plan,
     experiment_names,
 )
-from repro.faults import FaultPlan
+from repro.report import load_fault_plan
 
 
 def load_matrix(path: str) -> ScenarioMatrix:
@@ -130,9 +130,7 @@ def main(argv=None) -> int:
         matrix = ScenarioMatrix.paper(only=only, seed=args.seed)
     jobs = matrix.expand()
     if args.faults:
-        with open(args.faults, "r", encoding="utf-8") as fh:
-            plan = FaultPlan.from_json(fh.read())
-        jobs = apply_fault_plan(jobs, plan.to_json())
+        jobs = apply_fault_plan(jobs, load_fault_plan(args.faults))
     if not jobs:
         print("matrix expanded to zero jobs", file=sys.stderr)
         return 2

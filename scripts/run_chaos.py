@@ -22,14 +22,10 @@ from pathlib import Path
 
 from repro.campaign import experiment_names, get_experiment
 from repro.errors import ConfigurationError, ReproError
-from repro.faults import (
-    FaultPlan,
-    render_time_buckets,
-    report_from_snapshot,
-    time_buckets,
-)
+from repro.faults import render_time_buckets, report_from_snapshot, time_buckets
+from repro.report import journeys_of_session, load_fault_plan
 from repro.telemetry import TraceSession, meta_record, result_record
-from repro.telemetry.attribution import LatencyBreakdown, journey_record
+from repro.telemetry.attribution import LatencyBreakdown
 
 FAULT_EXPERIMENTS = [
     name for name in experiment_names()
@@ -72,10 +68,7 @@ def main(argv=None) -> int:
         print(f"error: not fault experiments: {', '.join(unknown)} "
               f"(known: {', '.join(FAULT_EXPERIMENTS)})", file=sys.stderr)
         return 2
-    plan_json = None
-    if args.plan:
-        with open(args.plan, "r", encoding="utf-8") as fh:
-            plan_json = FaultPlan.from_json(fh.read()).to_json()
+    plan_json = load_fault_plan(args.plan) if args.plan else None
 
     failures = 0
     for name in names:
@@ -102,9 +95,8 @@ def main(argv=None) -> int:
 
         snapshot = session.registry.snapshot()
         breakdown = LatencyBreakdown()
-        journeys = session.journeys
-        if journeys is not None:
-            breakdown.add_records(journey_record(j) for j in journeys.completed)
+        journey_recs = journeys_of_session(session)
+        breakdown.add_records(journey_recs)
         report = report_from_snapshot(snapshot, plan_name=name)
         if report is None:
             print("no faults were injected (empty plan or all targets skipped)")
@@ -113,12 +105,8 @@ def main(argv=None) -> int:
             # time-bucketed resilience view: injections vs latency over
             # sim time, from the windows controllers published at stop()
             windows = getattr(session, "fault_windows", None)
-            if windows and journeys is not None:
-                rows = time_buckets(
-                    windows,
-                    [journey_record(j) for j in journeys.completed],
-                    buckets=args.buckets,
-                )
+            if windows and journey_recs:
+                rows = time_buckets(windows, journey_recs, buckets=args.buckets)
                 if rows:
                     print()
                     print(render_time_buckets(rows))

@@ -34,22 +34,10 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.campaign import CampaignJob, CampaignReport, CampaignRunner, ResultCache
+from repro.campaign import ResultCache
 from repro.errors import ConfigurationError, ReproError
-from repro.faults import FaultPlan
-from repro.service import (
-    ArrivalSchedule,
-    demand_stream,
-    generate_arrivals,
-    merge_shard_demands,
-    profiles_from_table,
-    profiles_to_json,
-    render_summary,
-    rep_seed,
-    run_service,
-    window_rows,
-    write_run_table,
-)
+from repro.report import load_fault_plan
+from repro.service import ArrivalSchedule, ServiceDriver
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -111,108 +99,40 @@ def main(argv=None) -> int:
         print("--shards and --repetitions must be >= 1", file=sys.stderr)
         return 2
 
-    calib_kwargs = {
-        "classes": ",".join(sorted({t.klass for t in schedule.tenants})),
-        "calib_samples": args.calib_samples,
-    }
+    faults = None
     if args.faults:
         try:
-            plan = FaultPlan.from_json(
-                Path(args.faults).read_text(encoding="utf-8")
-            )
-        except (OSError, ConfigurationError) as exc:
+            faults = load_fault_plan(args.faults)
+        except ConfigurationError as exc:
             print(f"fault plan: {exc}", file=sys.stderr)
             return 2
-        calib_kwargs["faults"] = plan.to_json()
 
     out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-
-    # phase 1: one shared calibration job for the whole invocation —
-    # every (repetition, shard) job below reuses its profiles artifact
-    calib_runner = CampaignRunner(
-        [CampaignJob.make("service_calibrate", calib_kwargs, seed=args.seed)],
-        workers=1,
-        cache=cache,
-        manifest_path=str(out_dir / "calib-manifest.jsonl"),
+    driver = ServiceDriver(
+        schedule,
+        out_dir=out_dir,
+        seed=args.seed,
+        shards=args.shards,
+        repetitions=args.repetitions,
+        calib_samples=args.calib_samples,
+        faults=faults,
+        cache=None if args.no_cache else ResultCache(args.cache_dir),
         timeout_s=args.timeout,
-        base_seed=args.seed,
     )
-    calib_report = calib_runner.run()
-    if calib_report.failed:
-        for outcome in calib_report.failed:
-            print(f"FAILED {outcome.job.job_id}: {outcome.error}",
-                  file=sys.stderr)
-        return 1
-    profiles_json = profiles_to_json(
-        profiles_from_table(calib_report.outcomes[0].tables()[0])
-    )
-
-    # phase 2: shard demand jobs, none of which touch the simulator
-    jobs = [
-        CampaignJob.make(
-            "service_shard",
-            {"schedule": schedule.to_json(), "shards": args.shards,
-             "profiles": profiles_json, "repetition": rep, "shard": shard},
-            seed=args.seed,
-        )
-        for rep in range(args.repetitions)
-        for shard in range(args.shards)
-    ]
-    runner = CampaignRunner(
-        jobs,
-        workers=args.shards,
-        cache=cache,
-        manifest_path=str(out_dir / "manifest.jsonl"),
-        timeout_s=args.timeout,
-        base_seed=args.seed,
-    )
-    report = runner.run()
-    if report.failed:
-        for outcome in report.failed:
-            print(f"FAILED {outcome.job.job_id}: {outcome.error}",
-                  file=sys.stderr)
-        return 1
-
-    by_rep = {}
-    for outcome in report.outcomes:
-        kwargs = outcome.job.kwargs_dict
-        by_rep.setdefault(kwargs["repetition"], []).append(outcome.tables()[0])
-
-    rows = []
     try:
-        for rep in sorted(by_rep):
-            arrivals = generate_arrivals(schedule, rep_seed(args.seed, rep))
-            demands = merge_shard_demands(by_rep[rep])
-            outcomes = run_service(schedule, demand_stream(arrivals, demands))
-            rows.extend(window_rows(schedule, rep, outcomes))
+        result = driver.run()
     except ReproError as exc:
         print(f"merge: {exc}", file=sys.stderr)
         return 1
+    if result.failed:
+        for outcome in result.failed:
+            print(f"FAILED {outcome.job.job_id}: {outcome.error}",
+                  file=sys.stderr)
+        return 1
 
-    write_run_table(
-        str(out_dir / "run_table.csv"), str(out_dir / "run_table.jsonl"),
-        schedule, args.seed, args.repetitions, rows,
-    )
-    # artifacts cover both phases: calibration first (it holds the sim
-    # journeys), then the shard demand jobs
-    combined = CampaignReport(
-        outcomes=calib_report.outcomes + report.outcomes,
-        wall_clock_s=calib_report.wall_clock_s + report.wall_clock_s,
-        workers=args.shards,
-    )
-    combined.write_telemetry(
-        str(out_dir / "metrics.jsonl"),
-        params={"schedule": schedule.name, "seed": args.seed,
-                "shards": args.shards, "repetitions": args.repetitions},
-    )
-    combined.write_attribution(str(out_dir / "attribution.jsonl"),
-                               name=f"service:{schedule.name}")
-
-    print(render_summary(schedule, rows))
-    print(f"calibration: {calib_report.summary()}", file=sys.stderr)
-    print(f"campaign: {report.summary()}", file=sys.stderr)
+    print(result.render())
+    print(f"calibration: {result.calib_report.summary()}", file=sys.stderr)
+    print(f"campaign: {result.shard_report.summary()}", file=sys.stderr)
     print(f"wrote {out_dir / 'run_table.csv'}", file=sys.stderr)
     return 0
 

@@ -35,7 +35,7 @@ from pathlib import Path
 
 from repro.campaign import ResultCache
 from repro.errors import ReproError
-from repro.faults import FaultPlan
+from repro.report import load_fault_plan
 from repro.tune import TuneDriver, TuneSpec
 
 
@@ -99,10 +99,7 @@ def main(argv=None) -> int:
         print(f"bad tune spec: {exc}", file=sys.stderr)
         return 2
 
-    faults = None
-    if args.faults:
-        with open(args.faults, "r", encoding="utf-8") as fh:
-            faults = FaultPlan.from_json(fh.read()).to_json()
+    faults = load_fault_plan(args.faults) if args.faults else None
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     driver = TuneDriver(

@@ -1,15 +1,24 @@
 """Content-addressed on-disk cache of experiment results.
 
 A cache entry's key is the SHA-256 of ``(experiment name, canonical
-kwargs, seed, code fingerprint)``.  The fingerprint hashes every
-``repro`` source file, so *any* code change invalidates every entry —
-deliberately coarse: a stale table silently served after a model edit
-would poison EXPERIMENTS.md, while re-running a few minutes of
-simulation is cheap.  Entries hold the pickled result (the
+kwargs, seed, attribution mode, code fingerprint)``.  The fingerprint
+hashes every ``repro`` source file, so *any* code change invalidates
+every entry — deliberately coarse: a stale table silently served after
+a model edit would poison EXPERIMENTS.md, while re-running a few
+minutes of simulation is cheap.  The attribution mode is part of the
+address because ``journeys`` and ``summary`` workers do different
+telemetry work and produce different artifact payloads.
+
+An entry holds the *whole* job payload — the result (the
 :class:`~repro.core.results.ResultTable` or tuple of tables exactly as
-the runner returned it) next to a small JSON sidecar describing what
-produced it, so a cache directory is inspectable with ``ls`` and
-``python -m json.tool``.
+the runner returned it) **plus** the metrics snapshot and attribution
+records the traced run produced.  Caching only the result would make
+warm re-runs lose their ``metrics.jsonl``/``attribution.jsonl``
+content, and a suite ``report.json`` built from a cache hit would
+differ from the run that populated the cache — the exact drift the
+report diff gate exists to catch.  A small JSON sidecar describes what
+produced each entry, so a cache directory is inspectable with ``ls``
+and ``python -m json.tool``.
 """
 
 from __future__ import annotations
@@ -52,12 +61,16 @@ def code_fingerprint(package_root: Optional[str] = None) -> str:
     return fingerprint
 
 
-def job_key(job: CampaignJob, fingerprint: Optional[str] = None) -> str:
-    """The content address of one job's result."""
+def job_key(
+    job: CampaignJob, fingerprint: Optional[str] = None,
+    mode: str = "journeys",
+) -> str:
+    """The content address of one job's payload under one attribution mode."""
     if fingerprint is None:
         fingerprint = code_fingerprint()
     material = "\0".join(
-        [job.experiment, canonical_kwargs(job.kwargs_dict), str(job.seed), fingerprint]
+        [job.experiment, canonical_kwargs(job.kwargs_dict), str(job.seed),
+         mode, fingerprint]
     )
     return hashlib.sha256(material.encode()).hexdigest()
 
@@ -75,36 +88,56 @@ class ResultCache:
         shard = self.directory / key[:2]
         return shard / f"{key}.pkl", shard / f"{key}.json"
 
-    def key_for(self, job: CampaignJob) -> str:
-        return job_key(job, self.fingerprint)
+    def key_for(self, job: CampaignJob, mode: str = "journeys") -> str:
+        return job_key(job, self.fingerprint, mode=mode)
 
-    def get(self, job: CampaignJob):
-        """The cached result, or None.  Corrupt entries count as misses."""
-        payload, _ = self._paths(self.key_for(job))
+    def get(self, job: CampaignJob, mode: str = "journeys"):
+        """The cached entry dict, or None.  Corrupt entries count as misses.
+
+        An entry has ``result``, ``metrics``, ``attribution``, and
+        ``attribution_summaries`` keys — everything a replayed
+        :class:`JobOutcome` needs to be artifact-identical to the run
+        that populated the cache.
+        """
+        payload, _ = self._paths(self.key_for(job, mode))
         try:
             with open(payload, "rb") as fh:
-                result = pickle.load(fh)
+                entry = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             self.misses += 1
             return None
+        if not isinstance(entry, dict) or "result" not in entry:
+            self.misses += 1
+            return None
         self.hits += 1
-        return result
+        return entry
 
-    def put(self, job: CampaignJob, result) -> str:
-        """Store a job's result; returns the content key.
+    def put(
+        self, job: CampaignJob, result, *,
+        metrics=None, attribution=None, attribution_summaries=None,
+        mode: str = "journeys",
+    ) -> str:
+        """Store a job's full payload; returns the content key.
 
         Writes are atomic (tempfile + rename) so a crashed or parallel
         writer can never leave a half-written entry that a later
         :meth:`get` would trust.
         """
-        key = self.key_for(job)
+        key = self.key_for(job, mode)
         payload, sidecar = self._paths(key)
         payload.parent.mkdir(parents=True, exist_ok=True)
-        self._atomic_write(payload, pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL))
+        entry = {
+            "result": result,
+            "metrics": metrics or {},
+            "attribution": attribution or [],
+            "attribution_summaries": attribution_summaries or [],
+        }
+        self._atomic_write(payload, pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
         meta = {
             "experiment": job.experiment,
             "kwargs": job.kwargs_dict,
             "seed": job.seed,
+            "mode": mode,
             "fingerprint": self.fingerprint,
             "job_id": job.job_id,
         }
@@ -127,6 +160,10 @@ class ResultCache:
 
     def __contains__(self, job: CampaignJob) -> bool:
         payload, _ = self._paths(self.key_for(job))
+        return payload.exists()
+
+    def contains(self, job: CampaignJob, mode: str = "journeys") -> bool:
+        payload, _ = self._paths(self.key_for(job, mode))
         return payload.exists()
 
     def entry_count(self) -> int:

@@ -250,11 +250,17 @@ class CampaignRunner:
         """
         if self.cache is None:
             return None
-        result = self.cache.get(job)
-        if result is None:
+        entry = self.cache.get(job, self.attribution_mode)
+        if entry is None:
             return None
         source = "resume" if self.resume and job.job_id in done_before else "cache"
-        return JobOutcome(job, "ok", source, attempts=0, duration_s=0.0, result=result)
+        return JobOutcome(
+            job, "ok", source, attempts=0, duration_s=0.0,
+            result=entry["result"],
+            metrics=entry.get("metrics", {}),
+            attribution=entry.get("attribution", []),
+            attribution_summaries=entry.get("attribution_summaries", []),
+        )
 
     # -- serial path --------------------------------------------------------
 
@@ -370,7 +376,13 @@ class CampaignRunner:
                 attribution_summaries=raw.get("attribution_summaries", []),
             )
             if self.cache is not None:
-                self.cache.put(job, raw["result"])
+                self.cache.put(
+                    job, raw["result"],
+                    metrics=outcome.metrics,
+                    attribution=outcome.attribution,
+                    attribution_summaries=outcome.attribution_summaries,
+                    mode=self.attribution_mode,
+                )
             return outcome
         return JobOutcome(
             job, "failed", "run", attempts=attempts,
@@ -381,7 +393,8 @@ class CampaignRunner:
     def _journal(self, manifest, outcome: JobOutcome) -> None:
         if manifest is None:
             return
-        key = self.cache.key_for(outcome.job) if self.cache else ""
+        key = (self.cache.key_for(outcome.job, self.attribution_mode)
+               if self.cache else "")
         manifest.write(
             job_record(
                 outcome.job, key, outcome.status, outcome.source,

@@ -90,3 +90,7 @@ class AssemblerError(AccelError):
 
 class StorageError(ReproError):
     """Block-device or driver-stack failure."""
+
+
+class ArtifactError(ReproError):
+    """A run artifact (JSONL stream, report, profile) is malformed."""

@@ -1,0 +1,72 @@
+"""Reports and regression verdicts over the repo's run artifacts.
+
+Everything upstream emits machine-readable JSONL — attribution journeys,
+fault windows, service run tables, Pareto fronts — and this package is
+where they become *legible* and *comparable*:
+
+* :mod:`~repro.report.artifacts` — the one shared loader for every
+  JSONL artifact (file-or-directory resolution, strict/lenient
+  malformed-line handling, deterministic multi-source merging) that the
+  CLI scripts previously each reimplemented;
+* :mod:`~repro.report.suite` / :mod:`~repro.report.runner` — a
+  declarative ``repro.suite/v1`` spec bundling campaigns, fault plans,
+  service schedules, and tune specs into one named run driven through
+  the campaign engine (cached, resumable, worker-count-invariant);
+* :mod:`~repro.report.summary` — folds a suite run's artifacts into one
+  machine-readable ``report.json`` whose bytes are independent of
+  worker count (wall-clock never enters it);
+* :mod:`~repro.report.html` — renders the same data as a single
+  self-contained HTML page (inline CSS + SVG, no network, no deps);
+* :mod:`~repro.report.diff` — compares two suite runs scenario by
+  scenario with budget-matched percentile deltas and per-metric
+  tolerances, emitting a deterministic PASS/WARN/FAIL verdict usable as
+  a CI gate.
+
+``scripts/run_suite.py`` and ``scripts/diff_artifacts.py`` are the
+CLIs; the spec schema, report anatomy, and diff semantics live in
+``docs/reports.md``.
+"""
+
+from .artifacts import (
+    journeys_of_session,
+    load_fault_plan,
+    load_journeys,
+    load_report,
+    read_artifact,
+    resolve_artifact,
+)
+from .diff import (
+    DEFAULT_TOLERANCES,
+    DiffFinding,
+    DiffResult,
+    VERDICTS,
+    diff_reports,
+    render_diff,
+)
+from .html import render_html
+from .runner import SuiteResult, SuiteRunner
+from .suite import SUITE_SCHEMA, SuiteSpec
+from .summary import REPORT_SCHEMA, build_report, write_report_json
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "DiffFinding",
+    "DiffResult",
+    "REPORT_SCHEMA",
+    "SUITE_SCHEMA",
+    "SuiteResult",
+    "SuiteRunner",
+    "SuiteSpec",
+    "VERDICTS",
+    "build_report",
+    "diff_reports",
+    "journeys_of_session",
+    "load_fault_plan",
+    "load_journeys",
+    "load_report",
+    "read_artifact",
+    "render_diff",
+    "render_html",
+    "resolve_artifact",
+    "write_report_json",
+]

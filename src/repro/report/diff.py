@@ -1,0 +1,301 @@
+"""Compare two ``report.json`` files and emit a regression verdict.
+
+The diff walks every comparable metric the reports share — campaign
+end-to-end and per-stage latencies, service window/repetition counts
+and percentiles, tune front shape, kernel event counts — and grades
+each relative delta against per-metric tolerances:
+
+* ``|new - base| / max(|base|, eps) <= warn`` → **PASS** (a delta
+  landing exactly on the tolerance passes — tolerances are inclusive);
+* ``<= fail`` → **WARN**;
+* ``> fail`` → **FAIL**.
+
+Structural asymmetries grade without arithmetic: a metric present in
+the baseline but missing from the new run is a **FAIL** (a regression
+gate must not pass because the evidence disappeared), a metric only the
+new run has is a **WARN** (new coverage, nothing to regress against),
+and a value that is absent or NaN on one side is a **WARN** on that
+metric.  Absent or NaN on *both* sides compares as equal — nothing
+measurable changed.
+
+Percentiles are budget-matched in the same spirit as the tuner's
+deepest-common-rung rule: when the two sides measured a different
+sample count (journeys, completions), their percentile deltas probe
+different tail depths, so those findings are capped at **WARN** with an
+explanatory note — the sample-count metrics themselves still grade
+normally and catch the drift.
+
+The overall verdict is the worst finding, findings sort by severity
+then key, and everything is a pure function of the two reports plus the
+tolerance table — two byte-identical reports always PASS with zero
+findings, at any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: verdicts, mildest first (index = severity)
+VERDICTS = ("PASS", "WARN", "FAIL")
+
+#: relative-delta tolerances per metric class: ``(warn_above, fail_above)``
+#: — deltas at or below ``warn_above`` pass, at or below ``fail_above``
+#: warn, beyond that fail.  Counts are exact by default: any drift in a
+#: deterministic artifact warrants at least a WARN.
+DEFAULT_TOLERANCES: Dict[str, Tuple[float, float]] = {
+    "latency": (0.02, 0.10),    # *_ps / *_ms means and percentiles
+    "share": (0.02, 0.10),      # stage shares, rates, occupancy
+    "count": (0.0, 0.02),       # journeys, events, offered/completed/shed
+}
+
+#: denominator floor for relative deltas (a zero baseline would divide
+#: by zero; against ~picosecond-scale metrics 1e-9 is effectively exact)
+EPS = 1e-9
+
+#: metric names graded as percentiles (budget-capped when samples differ)
+_PERCENTILE_MARKERS = ("p50", "p95", "p99", "max")
+
+
+@dataclass(frozen=True)
+class DiffFinding:
+    """One graded metric comparison."""
+
+    key: str                      # e.g. "campaign/sweep/table3/p99_ps"
+    verdict: str
+    baseline: Optional[float]
+    new: Optional[float]
+    delta: Optional[float]        # relative; None for structural findings
+    note: str = ""
+
+    def to_record(self) -> dict:
+        return {
+            "key": self.key, "verdict": self.verdict,
+            "baseline": self.baseline, "new": self.new,
+            "delta": self.delta, "note": self.note,
+        }
+
+
+@dataclass
+class DiffResult:
+    """The full comparison: worst verdict plus every finding."""
+
+    verdict: str
+    findings: List[DiffFinding]
+    compared: int                 # metrics graded (incl. clean passes)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out = {v: 0 for v in VERDICTS}
+        for finding in self.findings:
+            out[finding.verdict] += 1
+        return out
+
+    def to_record(self) -> dict:
+        return {
+            "verdict": self.verdict,
+            "compared": self.compared,
+            "counts": self.counts,
+            "findings": [f.to_record() for f in self.findings],
+        }
+
+
+class _Metric:
+    """One comparable value: its class, and the sample budget behind it."""
+
+    __slots__ = ("value", "klass", "samples")
+
+    def __init__(self, value, klass: str, samples: Optional[float] = None):
+        self.value = value
+        self.klass = klass
+        self.samples = samples
+
+
+def _is_absent(value) -> bool:
+    if value is None:
+        return True
+    return isinstance(value, float) and math.isnan(value)
+
+
+def _metric_class(name: str) -> str:
+    if name.endswith("_ps") or name.endswith("_ms"):
+        return "latency"
+    if "share" in name or "rate" in name or "occupancy" in name:
+        return "share"
+    return "count"
+
+
+def _is_percentile(name: str) -> bool:
+    return any(marker in name for marker in _PERCENTILE_MARKERS)
+
+
+def _index(report: Mapping) -> Dict[str, _Metric]:
+    """Flatten a report into ``key -> metric`` for keywise comparison."""
+    out: Dict[str, _Metric] = {}
+
+    def put(key: str, value, samples=None):
+        name = key.rsplit("/", 1)[-1]
+        out[key] = _Metric(value, _metric_class(name), samples)
+
+    for campaign in report.get("campaigns", []):
+        base = f"campaign/{campaign['name']}"
+        put(f"{base}/journeys", campaign.get("journeys"))
+        for row in campaign.get("end_to_end", []):
+            prefix = f"{base}/{row['scenario']}"
+            n = row.get("journeys")
+            put(f"{prefix}/journeys", n)
+            for metric in ("mean_ps", "p50_ps", "p95_ps", "p99_ps", "max_ps"):
+                put(f"{prefix}/{metric}", row.get(metric), samples=n)
+        for row in campaign.get("stages", []):
+            prefix = f"{base}/{row['scenario']}/stage/{row['stage']}"
+            n = row.get("count")
+            put(f"{prefix}/count", n)
+            for metric in ("mean_ps", "p99_ps", "share"):
+                put(f"{prefix}/{metric}", row.get(metric), samples=n)
+
+    for service in report.get("services", []):
+        base = f"service/{service['name']}"
+        for rep in service.get("repetitions", []):
+            prefix = f"{base}/rep{rep.get('repetition')}"
+            for metric in ("offered", "completed", "shed", "failed",
+                           "overloaded_windows", "slo_missed_windows"):
+                if metric in rep:
+                    put(f"{prefix}/{metric}", rep.get(metric))
+        for window in service.get("windows", []):
+            prefix = (f"{base}/rep{window.get('repetition')}"
+                      f"/w{window.get('window')}")
+            n = window.get("completed")
+            put(f"{prefix}/completed", n)
+            put(f"{prefix}/shed", window.get("shed"))
+            for metric in ("latency_p50_ms", "latency_p99_ms",
+                           "queue_delay_mean_ms", "occupancy_mean"):
+                put(f"{prefix}/{metric}", window.get(metric), samples=n)
+        for tenant, row in sorted(service.get("slo", {}).items()):
+            prefix = f"{base}/slo/{tenant}"
+            put(f"{prefix}/windows_met", row.get("windows_met"))
+            put(f"{prefix}/windows_judged", row.get("windows_judged"))
+
+    for tune in report.get("tunes", []):
+        base = f"tune/{tune['name']}"
+        put(f"{base}/trials_run", tune.get("trials_run"))
+        put(f"{base}/front_size", tune.get("front_size"))
+
+    kernel = report.get("kernel")
+    if kernel:
+        put("kernel/events", kernel.get("events"))
+        for key, count in sorted(kernel.get("counts", {}).items()):
+            put(f"kernel/counts/{key}", count)
+    return out
+
+
+def _winner_keys(report: Mapping) -> Dict[str, Optional[str]]:
+    return {
+        f"tune/{t['name']}/winner": t.get("winner")
+        for t in report.get("tunes", [])
+    }
+
+
+def diff_reports(
+    baseline: Mapping,
+    new: Mapping,
+    tolerances: Optional[Mapping[str, Tuple[float, float]]] = None,
+) -> DiffResult:
+    """Grade ``new`` against ``baseline``; see the module docstring."""
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    a, b = _index(baseline), _index(new)
+    findings: List[DiffFinding] = []
+    compared = 0
+
+    for key in sorted(set(a) | set(b)):
+        name = key.rsplit("/", 1)[-1]
+        if key not in b:
+            findings.append(DiffFinding(
+                key, "FAIL", _num(a[key].value), None, None,
+                note="metric missing from the new run",
+            ))
+            continue
+        if key not in a:
+            findings.append(DiffFinding(
+                key, "WARN", None, _num(b[key].value), None,
+                note="metric only in the new run (no baseline)",
+            ))
+            continue
+        ma, mb = a[key], b[key]
+        absent_a, absent_b = _is_absent(ma.value), _is_absent(mb.value)
+        if absent_a and absent_b:
+            continue  # nothing measurable on either side
+        compared += 1
+        if absent_a or absent_b:
+            side = "baseline" if absent_a else "new run"
+            findings.append(DiffFinding(
+                key, "WARN", _num(ma.value), _num(mb.value), None,
+                note=f"value absent or NaN in the {side}",
+            ))
+            continue
+        va, vb = float(ma.value), float(mb.value)
+        delta = abs(vb - va) / max(abs(va), EPS)
+        warn_tol, fail_tol = tol.get(ma.klass, tol["count"])
+        if delta <= warn_tol:
+            continue  # clean pass: not a finding
+        verdict = "WARN" if delta <= fail_tol else "FAIL"
+        note = ""
+        if (verdict == "FAIL" and _is_percentile(name)
+                and ma.samples is not None and mb.samples is not None
+                and ma.samples != mb.samples):
+            verdict = "WARN"
+            note = (f"budget mismatch ({ma.samples:g} vs {mb.samples:g} "
+                    "samples): percentile deltas capped at WARN")
+        findings.append(DiffFinding(key, verdict, va, vb, delta, note=note))
+
+    wa, wb = _winner_keys(baseline), _winner_keys(new)
+    for key in sorted(set(wa) | set(wb)):
+        compared += 1
+        if wa.get(key) != wb.get(key):
+            findings.append(DiffFinding(
+                key, "WARN", None, None, None,
+                note=f"winner changed: {wa.get(key)!r} -> {wb.get(key)!r}",
+            ))
+
+    findings.sort(key=lambda f: (-VERDICTS.index(f.verdict), f.key))
+    worst = max(
+        (f.verdict for f in findings), key=VERDICTS.index, default="PASS"
+    )
+    return DiffResult(worst, findings, compared)
+
+
+def _num(value) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return None
+    return None if math.isnan(value) else value
+
+
+def render_diff(result: DiffResult, limit: int = 40) -> str:
+    """The verdict and findings as fixed-width terminal text."""
+    counts = result.counts
+    lines = [
+        f"verdict: {result.verdict} "
+        f"({result.compared} metrics compared; "
+        f"{counts['FAIL']} fail, {counts['WARN']} warn)",
+    ]
+    shown = result.findings[:limit]
+    if shown:
+        width = max(len(f.key) for f in shown)
+        for f in shown:
+            if f.delta is not None:
+                detail = (f"{f.baseline:.6g} -> {f.new:.6g} "
+                          f"({f.delta:+.2%})")
+            else:
+                detail = f.note
+            suffix = f"  [{f.note}]" if f.note and f.delta is not None else ""
+            lines.append(f"  {f.verdict:<4}  {f.key:<{width}}  {detail}{suffix}")
+    hidden = len(result.findings) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... {hidden} more finding(s)")
+    return "\n".join(lines)

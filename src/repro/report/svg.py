@@ -1,0 +1,161 @@
+"""Tiny inline-SVG builders for the HTML report.
+
+No plotting dependency, no scripts, no external fetches: every chart is
+a handful of SVG elements assembled from fixed-precision numbers (so the
+markup is stable across runs) and inlined straight into the page.  Three
+shapes cover everything the report draws:
+
+* :func:`hbar_svg` — labelled horizontal bars (stage shares, hotspots);
+* :func:`sparkline_svg` — a polyline over evenly spaced samples
+  (service windows, fault buckets);
+* :func:`scatter_svg` — x/y points with highlighted subset (Pareto
+  fronts, dominated vs non-dominated trials).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: default bar/spark colors (picked for contrast on a white page)
+BAR_COLOR = "#4878a8"
+ACCENT_COLOR = "#c0504d"
+MUTED_COLOR = "#b0b8c0"
+
+
+def _fmt(value: float) -> str:
+    """Fixed-precision coordinate (stable markup, compact output)."""
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def hbar_svg(
+    rows: Sequence[Tuple[str, float]],
+    *,
+    width: int = 420,
+    bar_height: int = 16,
+    gap: int = 4,
+    label_width: int = 150,
+    color: str = BAR_COLOR,
+    fmt: str = "{:.1%}",
+) -> str:
+    """Labelled horizontal bars, scaled to the largest value."""
+    if not rows:
+        return ""
+    peak = max(value for _, value in rows) or 1.0
+    span = width - label_width - 60
+    height = len(rows) * (bar_height + gap)
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">'
+    ]
+    for i, (label, value) in enumerate(rows):
+        y = i * (bar_height + gap)
+        w = max(0.0, span * value / peak)
+        ty = y + bar_height - 4
+        parts.append(
+            f'<text x="{label_width - 6}" y="{ty}" text-anchor="end" '
+            f'font-size="11">{_esc(label)}</text>'
+        )
+        parts.append(
+            f'<rect x="{label_width}" y="{y}" width="{_fmt(w)}" '
+            f'height="{bar_height}" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{_fmt(label_width + w + 4)}" y="{ty}" '
+            f'font-size="11">{_esc(fmt.format(value))}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def sparkline_svg(
+    values: Sequence[float],
+    *,
+    width: int = 240,
+    height: int = 36,
+    color: str = BAR_COLOR,
+    baseline_zero: bool = True,
+) -> str:
+    """One polyline over evenly spaced samples (pad of 2px each side)."""
+    if not values:
+        return ""
+    lo = 0.0 if baseline_zero else min(values)
+    hi = max(max(values), lo + 1e-12)
+    pad = 2.0
+    span_x = width - 2 * pad
+    span_y = height - 2 * pad
+    n = len(values)
+    points = []
+    for i, value in enumerate(values):
+        x = pad + (span_x * i / (n - 1) if n > 1 else span_x / 2)
+        frac = (value - lo) / (hi - lo)
+        y = height - pad - span_y * frac
+        points.append(f"{_fmt(x)},{_fmt(y)}")
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">'
+        f'<polyline points="{" ".join(points)}" fill="none" '
+        f'stroke="{color}" stroke-width="1.5"/></svg>'
+    )
+
+
+def scatter_svg(
+    points: Sequence[Tuple[float, float]],
+    highlight: Optional[Sequence[bool]] = None,
+    *,
+    width: int = 320,
+    height: int = 220,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """An x/y scatter; highlighted points draw larger in the accent color."""
+    if not points:
+        return ""
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    x1 = x1 if x1 > x0 else x0 + 1.0
+    y1 = y1 if y1 > y0 else y0 + 1.0
+    pad = 28.0
+    span_x = width - 2 * pad
+    span_y = height - 2 * pad
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">',
+        f'<rect x="{_fmt(pad)}" y="{_fmt(pad)}" width="{_fmt(span_x)}" '
+        f'height="{_fmt(span_y)}" fill="none" stroke="{MUTED_COLOR}"/>',
+    ]
+    flagged: List[bool] = (
+        list(highlight) if highlight is not None else [False] * len(points)
+    )
+    # muted points first so highlights draw on top
+    for hot in (False, True):
+        for (x, y), flag in zip(points, flagged):
+            if flag != hot:
+                continue
+            cx = pad + span_x * (x - x0) / (x1 - x0)
+            cy = height - pad - span_y * (y - y0) / (y1 - y0)
+            color = ACCENT_COLOR if flag else MUTED_COLOR
+            r = 4 if flag else 2.5
+            parts.append(
+                f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{r}" '
+                f'fill="{color}"/>'
+            )
+    if x_label:
+        parts.append(
+            f'<text x="{_fmt(width / 2)}" y="{height - 6}" '
+            f'text-anchor="middle" font-size="11">{_esc(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="10" y="{_fmt(height / 2)}" font-size="11" '
+            f'transform="rotate(-90 10 {_fmt(height / 2)})" '
+            f'text-anchor="middle">{_esc(y_label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)

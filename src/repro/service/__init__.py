@@ -25,6 +25,7 @@ from .classes import (
     profiles_from_json,
     profiles_to_json,
 )
+from .driver import ServiceDriver, ServiceResult
 from .loop import (
     OUTCOME_STATUSES,
     RequestOutcome,
@@ -58,6 +59,7 @@ from .table import (
     merge_shard_demands,
     render_run_table_csv,
     render_summary,
+    run_table_columns,
     run_table_records,
     window_rows,
     write_run_table,
@@ -77,8 +79,10 @@ __all__ = [
     "SERVICE_SCHEMA",
     "SHARD_COLUMNS",
     "SYSTEM_CLASSES",
+    "ServiceDriver",
     "ServiceLoop",
     "ServiceProfile",
+    "ServiceResult",
     "Tenant",
     "calibrate",
     "calibrate_classes",
@@ -96,6 +100,7 @@ __all__ = [
     "run_service",
     "run_service_calibrate",
     "run_service_shard",
+    "run_table_columns",
     "run_table_records",
     "window_rows",
     "write_run_table",

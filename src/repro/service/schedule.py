@@ -54,6 +54,9 @@ class Tenant:
     #: sim-kernel operations one request performs (its service time is
     #: the sum of this many calibrated-class draws)
     ops_per_request: int = 1
+    #: optional latency objective: this tenant's per-window p99 must stay
+    #: at or under this many milliseconds for the window to count as met
+    slo_p99_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -64,14 +67,21 @@ class Tenant:
             raise ConfigurationError(
                 f"tenant {self.name!r}: ops_per_request must be >= 1"
             )
+        if self.slo_p99_ms is not None and self.slo_p99_ms <= 0:
+            raise ConfigurationError(
+                f"tenant {self.name!r}: slo_p99_ms must be > 0 when set"
+            )
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "klass": self.klass,
             "weight": self.weight,
             "ops_per_request": self.ops_per_request,
         }
+        if self.slo_p99_ms is not None:
+            out["slo_p99_ms"] = self.slo_p99_ms
+        return out
 
 
 @dataclass(frozen=True)

@@ -19,14 +19,16 @@ Column reference lives in ``docs/service.md``.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
 from ..telemetry import bucket_of, sparkline
 from .loop import RequestOutcome
 from .schedule import PS_PER_MS, Arrival, ArrivalSchedule, SERVICE_SCHEMA
 
-#: CSV header, in emission order
+#: CSV header, in emission order (schedules with tenant SLO targets
+#: append one ``slo_<tenant>`` verdict column per target — see
+#: :func:`run_table_columns`)
 RUN_TABLE_COLUMNS = [
     "run",
     "repetition",
@@ -48,6 +50,19 @@ RUN_TABLE_COLUMNS = [
     "latency_p99_ms",
     "occupancy_mean",
 ]
+
+
+def run_table_columns(schedule: ArrivalSchedule) -> List[str]:
+    """The emission column order for one schedule.
+
+    The base grid plus one ``slo_<tenant>`` verdict column per tenant
+    that declares ``slo_p99_ms``, in schedule tenant order.  Schedules
+    without targets keep the historical column set exactly, so existing
+    artifacts and their consumers are untouched.
+    """
+    return list(RUN_TABLE_COLUMNS) + [
+        f"slo_{t.name}" for t in schedule.tenants if t.slo_p99_ms is not None
+    ]
 
 
 def _percentile(ordered: Sequence[int], q: float) -> int:
@@ -109,6 +124,11 @@ def window_rows(
     draining after the schedule ends clamped into the last window.
     Occupancy is busy-server-time inside the window over window
     capacity, so a saturated window reads 1.0.
+
+    Tenants with an ``slo_p99_ms`` target get a per-window verdict
+    column: ``met``/``missed`` against the tenant's p99 over its own
+    completions in the window, or the empty string when the tenant
+    completed nothing there (no evidence either way).
     """
     nwin = schedule.windows()
     width_ps = int(schedule.window_ms * PS_PER_MS)
@@ -120,6 +140,10 @@ def window_rows(
     queue_delay_ps = [0] * nwin
     latencies: List[List[int]] = [[] for _ in range(nwin)]
     busy_ps = [0.0] * nwin
+    slo_tenants = [t for t in schedule.tenants if t.slo_p99_ms is not None]
+    tenant_lat: Dict[str, List[List[int]]] = {
+        t.name: [[] for _ in range(nwin)] for t in slo_tenants
+    }
 
     for out in outcomes:
         w_arr = bucket_of(out.t_ps, 0, width_ps, nwin)
@@ -134,6 +158,8 @@ def window_rows(
         w_done = bucket_of(out.done_ps, 0, width_ps, nwin)
         completed[w_done] += 1
         latencies[w_done].append(out.latency_ps)
+        if out.tenant in tenant_lat:
+            tenant_lat[out.tenant][w_done].append(out.latency_ps)
         # busy time: clip the service interval to each window it spans
         start = out.done_ps - out.service_ps
         if out.service_ps > 0:
@@ -149,6 +175,15 @@ def window_rows(
     rows = []
     for w in range(nwin):
         ordered = sorted(latencies[w])
+        slo_cells = {}
+        for tenant in slo_tenants:
+            mine = sorted(tenant_lat[tenant.name][w])
+            if not mine:
+                slo_cells[f"slo_{tenant.name}"] = ""
+            else:
+                p99_ps = _percentile(mine, 0.99)
+                met = p99_ps <= tenant.slo_p99_ms * PS_PER_MS
+                slo_cells[f"slo_{tenant.name}"] = "met" if met else "missed"
         rows.append({
             "run": schedule.name,
             "repetition": repetition,
@@ -172,6 +207,7 @@ def window_rows(
             "latency_p95_ms": _percentile(ordered, 0.95) / PS_PER_MS,
             "latency_p99_ms": _percentile(ordered, 0.99) / PS_PER_MS,
             "occupancy_mean": busy_ps[w] / (width_ps * schedule.servers),
+            **slo_cells,
         })
     return rows
 
@@ -182,11 +218,14 @@ def _cell(value) -> str:
     return str(value)
 
 
-def render_run_table_csv(rows: Sequence[dict]) -> str:
+def render_run_table_csv(
+    rows: Sequence[dict], columns: Optional[Sequence[str]] = None
+) -> str:
     """The CSV artifact as a string (fixed column order, 6-digit floats)."""
-    lines = [",".join(RUN_TABLE_COLUMNS)]
+    columns = list(columns) if columns is not None else RUN_TABLE_COLUMNS
+    lines = [",".join(columns)]
     for row in rows:
-        lines.append(",".join(_cell(row[col]) for col in RUN_TABLE_COLUMNS))
+        lines.append(",".join(_cell(row[col]) for col in columns))
     return "\n".join(lines) + "\n"
 
 
@@ -201,20 +240,22 @@ def run_table_records(
     The meta record carries the full schedule (provenance) but **not**
     the shard count — the artifact must not vary with worker topology.
     """
+    columns = run_table_columns(schedule)
+    slo_columns = columns[len(RUN_TABLE_COLUMNS):]
     records: List[dict] = [{
         "schema": SERVICE_SCHEMA,
         "kind": "meta",
         "schedule": schedule.to_dict(),
         "seed": seed,
         "repetitions": repetitions,
-        "columns": list(RUN_TABLE_COLUMNS),
+        "columns": columns,
     }]
     for row in rows:
         records.append({"kind": "window", **row})
     for rep in range(repetitions):
         mine = [r for r in rows if r["repetition"] == rep]
         offered = sum(r["offered"] for r in mine)
-        records.append({
+        record = {
             "kind": "repetition",
             "repetition": rep,
             "offered": offered,
@@ -228,7 +269,13 @@ def run_table_records(
                 1 for r in mine
                 if r["shed"] > 0 or r["completed"] < r["offered"]
             ),
-        })
+        }
+        if slo_columns:
+            record["slo_missed_windows"] = sum(
+                1 for r in mine
+                if any(r.get(col) == "missed" for col in slo_columns)
+            )
+        records.append(record)
     return records
 
 
@@ -236,7 +283,7 @@ def write_run_table(path_csv: str, path_jsonl: str, schedule, seed, repetitions,
                     rows) -> None:
     """Emit both artifacts (newline-terminated, sorted-key JSON)."""
     with open(path_csv, "w", encoding="utf-8") as fh:
-        fh.write(render_run_table_csv(rows))
+        fh.write(render_run_table_csv(rows, run_table_columns(schedule)))
     records = run_table_records(schedule, seed, repetitions, rows)
     with open(path_jsonl, "w", encoding="utf-8") as fh:
         for record in records:
@@ -259,4 +306,14 @@ def render_summary(schedule: ArrivalSchedule, rows: Sequence[dict]) -> str:
             "    achieved " + sparkline([r["achieved_rps"] for r in mine]),
             "    queue ms " + sparkline([r["queue_delay_mean_ms"] for r in mine]),
         ]
+        for tenant in schedule.tenants:
+            if tenant.slo_p99_ms is None:
+                continue
+            col = f"slo_{tenant.name}"
+            judged = sum(1 for r in mine if r.get(col))
+            met = sum(1 for r in mine if r.get(col) == "met")
+            lines.append(
+                f"    slo {tenant.name}: {met}/{judged} windows met "
+                f"(p99 <= {tenant.slo_p99_ms:g} ms)"
+            )
     return "\n".join(lines)

@@ -10,6 +10,7 @@ from .clock import (
 from .event import ScheduledCall, Signal
 from .kernel import Simulator
 from .process import Process, all_of
+from .profile import PROFILE_SCHEMA, KernelProfiler, profiled, write_profile
 from .rng import Rng, derive_seed
 from .stats import BandwidthMeter, Counter, LatencyRecorder, StatsRegistry
 
@@ -17,7 +18,9 @@ __all__ = [
     "BandwidthMeter",
     "ClockDomain",
     "Counter",
+    "KernelProfiler",
     "LatencyRecorder",
+    "PROFILE_SCHEMA",
     "Process",
     "Rng",
     "ScheduledCall",
@@ -30,4 +33,6 @@ __all__ = [
     "dmi_link_clock",
     "fabric_clock",
     "nest_clock",
+    "profiled",
+    "write_profile",
 ]

@@ -17,10 +17,12 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
 from ..telemetry import probe
+from . import profile as _profile
 from .event import ScheduledCall, Signal
 
 
@@ -95,6 +97,24 @@ class Simulator:
             return True
         return False
 
+    def _step_profiled(self, prof, trace, trace_events) -> bool:
+        """step() timing each event into the installed kernel profiler."""
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self._now_ps = call.time_ps
+            if trace_events:
+                trace.instant(
+                    "kernel", getattr(call.fn, "__qualname__", "event"),
+                    call.time_ps,
+                )
+            t0 = perf_counter()
+            call.fn(*call.args)
+            prof.record(_profile.event_key(call.fn), perf_counter() - t0)
+            return True
+        return False
+
     def run(self, until_ps: Optional[int] = None, max_events: int = 50_000_000) -> int:
         """Run events until the queue drains or simulated time passes ``until_ps``.
 
@@ -107,30 +127,39 @@ class Simulator:
         executed = 0
         # Hoisted so the disabled-telemetry dispatch loop pays nothing per
         # event beyond a LOAD_FAST; per-event emission only on request.
+        # The same applies to the kernel profiler: its is-None check runs
+        # once per run() call, and the historical untimed loop is taken
+        # verbatim when no profiler is installed.
         trace = probe.session
         trace_events = trace is not None and trace.kernel_events
+        prof = _profile.active
         start_ps = self._now_ps
         try:
-            while self._queue:
-                head = self._queue[0]
-                if head.cancelled:
+            if prof is not None:
+                executed = self._run_profiled(
+                    until_ps, max_events, trace, trace_events, prof
+                )
+            else:
+                while self._queue:
+                    head = self._queue[0]
+                    if head.cancelled:
+                        heapq.heappop(self._queue)
+                        continue
+                    if until_ps is not None and head.time_ps > until_ps:
+                        break
                     heapq.heappop(self._queue)
-                    continue
-                if until_ps is not None and head.time_ps > until_ps:
-                    break
-                heapq.heappop(self._queue)
-                self._now_ps = head.time_ps
-                if trace_events:
-                    trace.instant(
-                        "kernel", getattr(head.fn, "__qualname__", "event"),
-                        head.time_ps,
-                    )
-                head.fn(*head.args)
-                executed += 1
-                if executed > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; likely a scheduling loop"
-                    )
+                    self._now_ps = head.time_ps
+                    if trace_events:
+                        trace.instant(
+                            "kernel", getattr(head.fn, "__qualname__", "event"),
+                            head.time_ps,
+                        )
+                    head.fn(*head.args)
+                    executed += 1
+                    if executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely a scheduling loop"
+                        )
         finally:
             self._running = False
         if until_ps is not None and self._now_ps < until_ps:
@@ -143,6 +172,39 @@ class Simulator:
             trace.count("kernel.events", executed)
         return executed
 
+    def _run_profiled(self, until_ps, max_events, trace, trace_events, prof) -> int:
+        """The run() drain loop with per-event wall-time attribution.
+
+        A verbatim copy of the untimed loop plus two ``perf_counter``
+        reads per event — kept separate so the common (unprofiled) path
+        stays exactly as fast as before the profiler existed.
+        """
+        executed = 0
+        prof.runs += 1
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until_ps is not None and head.time_ps > until_ps:
+                break
+            heapq.heappop(self._queue)
+            self._now_ps = head.time_ps
+            if trace_events:
+                trace.instant(
+                    "kernel", getattr(head.fn, "__qualname__", "event"),
+                    head.time_ps,
+                )
+            t0 = perf_counter()
+            head.fn(*head.args)
+            prof.record(_profile.event_key(head.fn), perf_counter() - t0)
+            executed += 1
+            if executed > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a scheduling loop"
+                )
+        return executed
+
     def run_until_signal(self, signal: Signal, timeout_ps: Optional[int] = None) -> Any:
         """Run until ``signal`` triggers; returns its value.
 
@@ -152,7 +214,14 @@ class Simulator:
         deadline = None if timeout_ps is None else self._now_ps + timeout_ps
         trace = probe.session
         trace_events = trace is not None and trace.kernel_events
-        step = (lambda: self._step_traced(trace)) if trace_events else self.step
+        prof = _profile.active
+        if prof is not None:
+            prof.runs += 1
+            step = lambda: self._step_profiled(prof, trace, trace_events)  # noqa: E731
+        elif trace_events:
+            step = lambda: self._step_traced(trace)  # noqa: E731
+        else:
+            step = self.step
         start_ps = self._now_ps
         executed = 0
         while not signal.triggered:

@@ -33,6 +33,13 @@ class TestKeying:
     def test_key_changes_with_code_fingerprint(self):
         assert job_key(JOB, "fp-a") != job_key(JOB, "fp-b")
 
+    def test_key_changes_with_attribution_mode(self):
+        # journeys-mode and summary-mode workers produce different
+        # artifact payloads; they must not share a content address
+        assert job_key(JOB, "fp", mode="journeys") != job_key(
+            JOB, "fp", mode="summary"
+        )
+
     def test_fingerprint_tracks_source_content(self, tmp_path):
         (tmp_path / "mod.py").write_text("A = 1\n")
         fp1 = code_fingerprint(str(tmp_path))
@@ -54,9 +61,32 @@ class TestStore:
         assert cache.get(JOB) is None
         cache.put(JOB, echo_table(1))
         hit = cache.get(JOB)
-        assert hit == echo_table(1)
+        assert hit["result"] == echo_table(1)
         assert cache.hits == 1 and cache.misses == 1
         assert JOB in cache
+
+    def test_entry_carries_full_job_payload(self, tmp_path):
+        # warm replays must be artifact-identical to the original run:
+        # metrics and attribution ride in the entry, not just the result
+        cache = ResultCache(tmp_path, fingerprint="fp")
+        cache.put(
+            JOB, echo_table(1),
+            metrics={"m": 1},
+            attribution=[{"kind": "journey", "jid": 1}],
+            attribution_summaries=[{"kind": "stage_summary"}],
+        )
+        hit = cache.get(JOB)
+        assert hit["metrics"] == {"m": 1}
+        assert hit["attribution"] == [{"kind": "journey", "jid": 1}]
+        assert hit["attribution_summaries"] == [{"kind": "stage_summary"}]
+
+    def test_modes_do_not_share_entries(self, tmp_path):
+        cache = ResultCache(tmp_path, fingerprint="fp")
+        cache.put(JOB, echo_table(1), mode="summary")
+        assert cache.get(JOB, mode="journeys") is None
+        assert cache.get(JOB, mode="summary")["result"] == echo_table(1)
+        assert cache.contains(JOB, mode="summary")
+        assert not cache.contains(JOB, mode="journeys")
 
     def test_miss_on_changed_kwargs_seed_or_code(self, tmp_path):
         cache = ResultCache(tmp_path, fingerprint="fp")
@@ -70,7 +100,7 @@ class TestStore:
         cache = ResultCache(tmp_path, fingerprint="fp")
         pair = (echo_table(1), echo_table(2))
         cache.put(JOB, pair)
-        assert cache.get(JOB) == pair
+        assert cache.get(JOB)["result"] == pair
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path, fingerprint="fp")
@@ -88,6 +118,7 @@ class TestStore:
         assert meta["experiment"] == "_selftest_echo"
         assert meta["kwargs"] == {"value": 1}
         assert meta["seed"] == 0
+        assert meta["mode"] == "journeys"
         assert meta["fingerprint"] == "fp"
 
     def test_entry_count(self, tmp_path):

@@ -1,0 +1,250 @@
+"""Diff verdict semantics: tolerances, structure, budget matching."""
+
+import copy
+import json
+
+from repro.report import DEFAULT_TOLERANCES, diff_reports, render_diff
+
+
+def report(**overrides):
+    """A small but fully populated report.json payload."""
+    base = {
+        "schema": "repro.report/v1",
+        "suite": "t",
+        "seed": 0,
+        "campaigns": [{
+            "name": "c",
+            "journeys": 100,
+            "end_to_end": [{
+                "scenario": "table3", "journeys": 100,
+                "mean_ps": 1000.0, "p50_ps": 900.0, "p95_ps": 1800.0,
+                "p99_ps": 2000.0, "max_ps": 2500.0,
+            }],
+            "stages": [{
+                "scenario": "table3", "stage": "dram", "count": 100,
+                "mean_ps": 400.0, "p99_ps": 800.0, "share": 0.4,
+            }],
+        }],
+        "services": [{
+            "name": "s",
+            "repetitions": [{
+                "repetition": 0, "offered": 60, "completed": 58,
+                "shed": 2, "failed": 0, "overloaded_windows": 0,
+            }],
+            "windows": [{
+                "repetition": 0, "window": 0, "completed": 30, "shed": 1,
+                "latency_p50_ms": 0.2, "latency_p99_ms": 0.9,
+                "queue_delay_mean_ms": 0.05, "occupancy_mean": 0.5,
+            }],
+            "slo": {"reader": {"target_p99_ms": 1.0,
+                               "windows_judged": 2, "windows_met": 2}},
+        }],
+        "tunes": [{
+            "name": "u", "trials_run": 4, "front_size": 2,
+            "winner": '{"delay":0}',
+        }],
+        "kernel": {
+            "experiment": "table3", "events": 500, "runs": 1,
+            "counts": {"mem.read": 300, "mem.write": 200},
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+def scale(rep, key_path, factor=None, value=None):
+    """Deep-copy a report and tweak one nested value."""
+    out = copy.deepcopy(rep)
+    node = out
+    for part in key_path[:-1]:
+        node = node[part]
+    if value is not None or factor is None:
+        node[key_path[-1]] = value
+    else:
+        node[key_path[-1]] = node[key_path[-1]] * factor
+    return out
+
+
+class TestIdentical:
+    def test_identical_reports_pass_with_no_findings(self):
+        a = report()
+        result = diff_reports(a, copy.deepcopy(a))
+        assert result.verdict == "PASS"
+        assert result.findings == []
+        assert result.compared > 0
+
+    def test_render_mentions_verdict_and_counts(self):
+        result = diff_reports(report(), report())
+        text = render_diff(result)
+        assert text.startswith("verdict: PASS")
+        assert "0 fail, 0 warn" in text
+
+
+class TestTolerances:
+    def test_boundary_exactly_met_is_pass(self):
+        # warn tolerance for latency is 0.02: a delta of exactly 2%
+        # must be a clean pass (tolerances are inclusive).
+        warn_tol = DEFAULT_TOLERANCES["latency"][0]
+        a = report()
+        b = scale(a, ("campaigns", 0, "end_to_end", 0, "mean_ps"),
+                  factor=1 + warn_tol)
+        result = diff_reports(a, b)
+        assert result.verdict == "PASS"
+        assert result.findings == []
+
+    def test_just_past_warn_is_warn(self):
+        a = report()
+        b = scale(a, ("campaigns", 0, "end_to_end", 0, "mean_ps"),
+                  factor=1.05)
+        result = diff_reports(a, b)
+        assert result.verdict == "WARN"
+        keys = [f.key for f in result.findings]
+        assert keys == ["campaign/c/table3/mean_ps"]
+
+    def test_past_fail_is_fail_and_exit_worthy(self):
+        a = report()
+        b = scale(a, ("campaigns", 0, "end_to_end", 0, "mean_ps"),
+                  factor=1.5)
+        result = diff_reports(a, b)
+        assert result.verdict == "FAIL"
+
+    def test_fail_boundary_exactly_met_is_warn(self):
+        fail_tol = DEFAULT_TOLERANCES["latency"][1]
+        a = report()
+        b = scale(a, ("campaigns", 0, "end_to_end", 0, "mean_ps"),
+                  factor=1 + fail_tol)
+        assert diff_reports(a, b).verdict == "WARN"
+
+    def test_count_drift_warns_even_when_tiny(self):
+        a = report()
+        b = scale(a, ("campaigns", 0, "journeys"), value=101)
+        result = diff_reports(a, b)
+        assert result.verdict == "WARN"
+        assert any(f.key == "campaign/c/journeys" for f in result.findings)
+
+    def test_tolerance_override_changes_verdict(self):
+        a = report()
+        b = scale(a, ("campaigns", 0, "end_to_end", 0, "mean_ps"),
+                  factor=1.05)
+        relaxed = diff_reports(a, b, tolerances={"latency": (0.10, 0.50)})
+        assert relaxed.verdict == "PASS"
+
+
+class TestStructural:
+    def test_scenario_missing_from_new_run_fails(self):
+        a = report()
+        b = copy.deepcopy(a)
+        b["campaigns"][0]["end_to_end"] = []
+        b["campaigns"][0]["stages"] = []
+        result = diff_reports(a, b)
+        assert result.verdict == "FAIL"
+        assert all(f.verdict == "FAIL" for f in result.findings)
+        assert all("missing from the new run" in f.note
+                   for f in result.findings)
+
+    def test_scenario_only_in_new_run_warns(self):
+        a = report()
+        b = copy.deepcopy(a)
+        b["campaigns"][0]["end_to_end"] = []
+        b["campaigns"][0]["stages"] = []
+        # the asymmetry: shrinking coverage FAILs, growing it WARNs
+        result = diff_reports(b, a)
+        assert result.verdict == "WARN"
+        assert all("only in the new run" in f.note for f in result.findings)
+
+    def test_nan_percentile_one_side_warns(self):
+        a = report()
+        b = scale(a, ("campaigns", 0, "end_to_end", 0, "p99_ps"),
+                  value=float("nan"))
+        result = diff_reports(a, b)
+        assert result.verdict == "WARN"
+        finding = next(f for f in result.findings
+                       if f.key == "campaign/c/table3/p99_ps")
+        assert "absent or NaN in the new run" in finding.note
+        assert finding.new is None  # NaN never leaks into records
+
+    def test_absent_percentile_both_sides_is_not_a_finding(self):
+        a = scale(report(), ("campaigns", 0, "end_to_end", 0, "p99_ps"),
+                  value=None)
+        result = diff_reports(a, copy.deepcopy(a))
+        assert result.verdict == "PASS"
+        assert result.findings == []
+
+    def test_zero_sample_window_with_null_latency_passes(self):
+        # a window that completed nothing carries null percentiles on
+        # both sides — that's equality, not a WARN
+        a = report()
+        for rep in (a,):
+            rep["services"][0]["windows"].append({
+                "repetition": 0, "window": 1, "completed": 0, "shed": 0,
+                "latency_p50_ms": None, "latency_p99_ms": None,
+                "queue_delay_mean_ms": None, "occupancy_mean": 0.0,
+            })
+        result = diff_reports(a, copy.deepcopy(a))
+        assert result.verdict == "PASS"
+        assert result.findings == []
+
+
+class TestBudgetMatching:
+    def test_percentile_fail_capped_to_warn_when_budgets_differ(self):
+        a = report()
+        b = copy.deepcopy(a)
+        row = b["campaigns"][0]["end_to_end"][0]
+        row["journeys"] = 50        # half the sample budget
+        row["p99_ps"] = 4000.0      # > fail tolerance
+        b["campaigns"][0]["journeys"] = 50
+        result = diff_reports(a, b)
+        finding = next(f for f in result.findings
+                       if f.key == "campaign/c/table3/p99_ps")
+        assert finding.verdict == "WARN"
+        assert "budget mismatch" in finding.note
+        # the count drift itself still grades normally and is the teeth
+        journeys = next(f for f in result.findings
+                        if f.key == "campaign/c/table3/journeys")
+        assert journeys.verdict == "FAIL"
+        assert result.verdict == "FAIL"
+
+    def test_mean_is_not_budget_capped(self):
+        a = report()
+        b = copy.deepcopy(a)
+        row = b["campaigns"][0]["end_to_end"][0]
+        row["journeys"] = 50
+        row["mean_ps"] = 2000.0     # means regress regardless of budget
+        finding = next(f for f in diff_reports(a, b).findings
+                       if f.key == "campaign/c/table3/mean_ps")
+        assert finding.verdict == "FAIL"
+
+
+class TestTuneWinners:
+    def test_winner_change_warns(self):
+        a = report()
+        b = scale(a, ("tunes", 0, "winner"), value='{"delay":8}')
+        result = diff_reports(a, b)
+        assert result.verdict == "WARN"
+        finding = next(f for f in result.findings
+                       if f.key == "tune/u/winner")
+        assert "winner changed" in finding.note
+
+
+class TestDeterminism:
+    def test_findings_sorted_worst_first_then_key(self):
+        a = report()
+        b = copy.deepcopy(a)
+        b["campaigns"][0]["end_to_end"][0]["mean_ps"] = 2000.0   # FAIL
+        b["campaigns"][0]["journeys"] = 101                      # WARN
+        b["services"][0]["windows"][0]["occupancy_mean"] = 0.52  # WARN
+        result = diff_reports(a, b)
+        verdicts = [f.verdict for f in result.findings]
+        assert verdicts == sorted(verdicts, key=["FAIL", "WARN", "PASS"].index)
+        warn_keys = [f.key for f in result.findings if f.verdict == "WARN"]
+        assert warn_keys == sorted(warn_keys)
+
+    def test_record_round_trips_through_json(self):
+        a = report()
+        b = scale(a, ("campaigns", 0, "end_to_end", 0, "mean_ps"),
+                  factor=1.5)
+        record = diff_reports(a, b).to_record()
+        again = json.loads(json.dumps(record, sort_keys=True))
+        assert again == record
+        assert again["verdict"] == "FAIL"
+        assert again["counts"]["FAIL"] >= 1

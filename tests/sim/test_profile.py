@@ -1,0 +1,141 @@
+"""Kernel profiler: per-event-type attribution, nesting, determinism."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import KernelProfiler, Signal, Simulator, profiled, write_profile
+from repro.sim import profile as profile_mod
+
+
+def _ping_pong(sim, rounds):
+    state = {"n": 0}
+
+    def ping():
+        state["n"] += 1
+        if state["n"] < rounds:
+            sim.call_after(10, pong)
+
+    def pong():
+        sim.call_after(10, ping)
+
+    sim.call_after(0, ping)
+    return state
+
+
+class TestKernelProfiler:
+    def test_counts_and_keys(self):
+        sim = Simulator()
+        _ping_pong(sim, 5)
+        with profiled() as prof:
+            executed = sim.run()
+        assert prof.events == executed == 9
+        counts = prof.counts_by_key()
+        assert list(counts) == sorted(counts)
+        assert counts["_ping_pong.<locals>.ping"] == 5
+        assert counts["_ping_pong.<locals>.pong"] == 4
+
+    def test_wall_time_accumulates(self):
+        sim = Simulator()
+        _ping_pong(sim, 3)
+        with profiled() as prof:
+            sim.run()
+        assert prof.total_wall_s > 0
+        for row in prof.hotspots():
+            assert row["wall_s"] >= 0
+            assert 0 <= row["wall_share"] <= 1
+        # shares sum to 1 when any time was measured
+        assert sum(r["wall_share"] for r in prof.hotspots()) == pytest.approx(1.0)
+
+    def test_counts_deterministic_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            _ping_pong(sim, 7)
+            with profiled() as prof:
+                sim.run()
+            return prof.counts_by_key()
+
+        assert run_once() == run_once()
+
+    def test_simulation_results_unchanged_under_profiler(self):
+        def trace(with_prof):
+            sim = Simulator()
+            order = []
+            def a():
+                order.append(("a", sim.now_ps))
+            def b():
+                order.append(("b", sim.now_ps))
+            sim.call_after(5, a)
+            sim.call_after(5, b)
+            sim.call_after(12, a)
+            if with_prof:
+                with profiled():
+                    sim.run()
+            else:
+                sim.run()
+            return order
+
+        assert trace(True) == trace(False)
+
+    def test_run_until_signal_profiled(self):
+        sim = Simulator()
+        sig = Signal("done")
+        sim.trigger_after(100, sig, "value")
+        with profiled() as prof:
+            assert sim.run_until_signal(sig) == "value"
+        assert prof.counts_by_key() == {"Signal.trigger": 1}
+        assert prof.runs == 1
+
+    def test_profilers_do_not_nest(self):
+        with profiled():
+            with pytest.raises(SimulationError):
+                profile_mod.install(KernelProfiler())
+        # context exit uninstalls even after the failed install
+        assert profile_mod.active is None
+
+    def test_uninstall_idempotent(self):
+        profile_mod.uninstall()
+        profile_mod.uninstall()
+        assert profile_mod.active is None
+
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        _ping_pong(sim, 2)
+        assert profile_mod.active is None
+        sim.run()  # no profiler installed: nothing to assert but no crash
+
+    def test_callable_instance_key(self):
+        class Tick:
+            def __init__(self):
+                self.n = 0
+            def __call__(self):
+                self.n += 1
+
+        sim = Simulator()
+        tick = Tick()
+        sim.call_after(1, tick)
+        with profiled() as prof:
+            sim.run()
+        assert prof.counts_by_key() == {"Tick": 1}
+        assert tick.n == 1
+
+    def test_write_profile_artifact(self, tmp_path):
+        sim = Simulator()
+        _ping_pong(sim, 4)
+        with profiled() as prof:
+            sim.run()
+        path = tmp_path / "kernel_profile.json"
+        record = write_profile(str(path), prof, experiment="ping_pong")
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(record))
+        assert on_disk["schema"] == "repro.profile/v1"
+        assert on_disk["experiment"] == "ping_pong"
+        assert on_disk["events"] == 7
+        assert on_disk["hotspots"][0]["count"] >= 1
+
+    def test_hotspot_order_breaks_ties_on_key(self):
+        prof = KernelProfiler()
+        prof.record("b", 0.0)
+        prof.record("a", 0.0)
+        assert [r["key"] for r in prof.hotspots()] == ["a", "b"]

@@ -36,6 +36,7 @@ from ..faults.experiments import (
     run_nvdimm_drill,
     run_storage_drill,
 )
+from ..hybrid.experiments import run_tiered_replay
 from ..service.shard import run_service_calibrate, run_service_shard
 from ..tune.trial import run_tune_trial
 
@@ -76,6 +77,12 @@ _SPECS: List[ExperimentSpec] = [
     ExperimentSpec("nvdimm_drill", run_nvdimm_drill, {"lines": 16},
                    paper=False, supports_faults=True),
     ExperimentSpec("storage_drill", run_storage_drill, {"writes": 24},
+                   paper=False, supports_faults=True),
+    # hybrid-memory tiering: migration policy x replay workload
+    # (docs/hybrid.md); swept as campaign axes, not part of the paper set
+    ExperimentSpec("tiered_replay", run_tiered_replay,
+                   {"policy": "clock", "workload": "graph", "ops": 96,
+                    "depth": 4},
                    paper=False, supports_faults=True),
     # service-mode shard worker (docs/service.md) — scheduled by
     # scripts/run_service.py, one job per (repetition, shard); hidden

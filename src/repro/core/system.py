@@ -36,6 +36,7 @@ from ..firmware import (
     set_latency_knob,
 )
 from ..fpga import ConTuttoBuffer, FpgaTimingConfig, SHIPPING_TIMING
+from ..hybrid import TieringSpec, build_tiered
 from ..memory import (
     Ddr3Timing,
     DdrDram,
@@ -66,7 +67,7 @@ class CardSpec:
 
     slot: int
     kind: str = "centaur"            # "centaur" | "contutto"
-    memory: str = "dram"             # "dram" | "mram" | "nvdimm"
+    memory: str = "dram"             # "dram" | "mram" | "nvdimm" | "tiered"
     capacity_per_dimm: int = 1 * GIB
     #: Centaur-only: which latency configuration
     centaur_config: CentaurConfig = DEFAULT
@@ -81,11 +82,14 @@ class CardSpec:
     #: ConTutto-only: the Section 3.3 freeze workaround (retransmit while
     #: preparing replay); disabling it makes slow replays fail the channel
     freeze: bool = True
+    #: tiered-memory cards only: how the capacity splits into fast/slow
+    #: tiers and which migration policy runs (docs/hybrid.md)
+    tiering: Optional[TieringSpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("centaur", "contutto"):
             raise ConfigurationError(f"unknown card kind {self.kind!r}")
-        if self.memory not in _MEMORY_FACTORIES:
+        if self.memory not in _MEMORY_FACTORIES and self.memory != "tiered":
             raise ConfigurationError(f"unknown memory type {self.memory!r}")
         if self.kind == "centaur" and self.memory != "dram":
             raise ConfigurationError(
@@ -95,6 +99,10 @@ class CardSpec:
         if self.ddr_timing is not None and self.memory != "dram":
             raise ConfigurationError(
                 f"ddr_timing only applies to DRAM DIMMs, not {self.memory!r}"
+            )
+        if self.tiering is not None and self.memory != "tiered":
+            raise ConfigurationError(
+                "a tiering spec needs memory='tiered'"
             )
 
 
@@ -145,12 +153,20 @@ class ContuttoSystem:
         return cls(sim, socket, descriptors, report, fsp)
 
     @staticmethod
+    def _make_device(spec: CardSpec, name: str) -> MemoryDevice:
+        if spec.memory == "tiered":
+            return build_tiered(
+                spec.capacity_per_dimm, name, spec.tiering or TieringSpec()
+            )
+        return _MEMORY_FACTORIES[spec.memory](
+            spec.capacity_per_dimm, name, spec.ecc, spec.ddr_timing
+        )
+
+    @staticmethod
     def _make_card(sim: Simulator, spec: CardSpec) -> CardDescriptor:
-        factory = _MEMORY_FACTORIES[spec.memory]
         if spec.kind == "centaur":
             devices = [
-                factory(spec.capacity_per_dimm, f"s{spec.slot}.d{i}", spec.ecc,
-                        spec.ddr_timing)
+                ContuttoSystem._make_device(spec, f"s{spec.slot}.d{i}")
                 for i in range(4)
             ]
             buffer: MemoryBuffer = Centaur(
@@ -161,8 +177,7 @@ class ContuttoSystem:
                 fsi_slave=CentaurFsiSlave(sim, f"fsi{spec.slot}"),
             )
         devices = [
-            factory(spec.capacity_per_dimm, f"s{spec.slot}.d{i}", spec.ecc,
-                    spec.ddr_timing)
+            ContuttoSystem._make_device(spec, f"s{spec.slot}.d{i}")
             for i in range(2)
         ]
         buffer = ConTuttoBuffer(

@@ -563,6 +563,37 @@ class StorageIoErrors(Injector):
         return "recovered"
 
 
+@register_injector("hybrid.migration_stall")
+class MigrationStall(Injector):
+    """Freeze tiered-memory page migration for the window.
+
+    Hot slow pages keep accumulating heat but stay resident in the slow
+    tier — every would-be promotion counts a ``tier.migration_stalls``
+    and demand traffic pays slow-tier latency.  Window end unfreezes the
+    devices and the backlog (visible as the ``tier.*.hot_slow_pages``
+    occupancy source) drains as the hot set re-promotes.
+    """
+
+    def bind(self, system) -> None:
+        self.devices = []
+        for _, slot in _target_slots(system, self.spec.target):
+            for port in getattr(slot.buffer, "ports", []):
+                if hasattr(port.device, "freeze_migration"):
+                    self.devices.append(port.device)
+
+    def inject(self, now_ps: int) -> str:
+        if not self.devices:
+            return "skipped"
+        for device in self.devices:
+            device.freeze_migration()
+        return "injected"
+
+    def recover(self, now_ps: int) -> str:
+        for device in self.devices:
+            device.unfreeze_migration()
+        return "recovered"
+
+
 @register_injector("storage.destage_stall")
 class DestageStall(Injector):
     """Freeze write-cache destaging for the window.

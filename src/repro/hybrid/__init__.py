@@ -1,0 +1,35 @@
+"""Hybrid-memory tiering: DRAM + NVM behind one port with page migration.
+
+See ``docs/hybrid.md`` for the device model, the migration policies, the
+tuning knobs, and the registered experiments.
+"""
+
+# NOTE: .experiments is deliberately not imported here — it builds
+# systems through repro.core.system, which itself imports this package
+# for the tiered card factory.  The campaign registry imports the
+# experiment module directly.
+from .build import TieringSpec, build_tiered
+from .device import FAST, SLOW, TieredConfig, TieredMemory
+from .policy import (
+    POLICIES,
+    BudgetPolicy,
+    ClockPolicy,
+    MigrationPolicy,
+    StaticPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "BudgetPolicy",
+    "ClockPolicy",
+    "FAST",
+    "MigrationPolicy",
+    "POLICIES",
+    "SLOW",
+    "StaticPolicy",
+    "TieredConfig",
+    "TieredMemory",
+    "TieringSpec",
+    "build_tiered",
+    "make_policy",
+]

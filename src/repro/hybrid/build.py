@@ -1,0 +1,81 @@
+"""Build a :class:`TieredMemory` from a declarative tiering spec.
+
+:class:`TieringSpec` is the card-level face of the hybrid subsystem: a
+:class:`~repro.core.system.CardSpec` with ``memory="tiered"`` carries one
+and the system builder calls :func:`build_tiered` per DIMM slot.  The
+fast tier is always DRAM (the point of tiering); the slow tier is any of
+the emerging-memory models the paper swaps in homogeneously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..memory import DdrDram, NvdimmN, SttMram
+from .device import TieredConfig, TieredMemory
+from .policy import POLICIES, make_policy
+
+_SLOW_FACTORIES = {
+    "mram": lambda cap, name: SttMram(cap, name=name),
+    "nvdimm": lambda cap, name: NvdimmN(cap, name=name),
+}
+
+
+@dataclass(frozen=True)
+class TieringSpec:
+    """How a tiered card splits and manages its capacity."""
+
+    #: share of the card's capacity given to the fast DRAM tier
+    fast_fraction: float = 0.25
+    #: slow-tier technology ("mram" | "nvdimm")
+    slow_memory: str = "mram"
+    #: migration policy name (see :data:`~repro.hybrid.policy.POLICIES`)
+    policy: str = "clock"
+    #: device knobs (page size, epoch, threshold, budget)
+    config: TieredConfig = field(default_factory=TieredConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fast_fraction < 1.0:
+            raise ConfigurationError(
+                f"tier fast_fraction must be in (0, 1), got {self.fast_fraction}"
+            )
+        if self.slow_memory not in _SLOW_FACTORIES:
+            known = ", ".join(sorted(_SLOW_FACTORIES))
+            raise ConfigurationError(
+                f"unknown slow-tier memory {self.slow_memory!r} (known: {known})"
+            )
+        if self.policy not in POLICIES:
+            known = ", ".join(sorted(POLICIES))
+            raise ConfigurationError(
+                f"unknown migration policy {self.policy!r} (known: {known})"
+            )
+
+
+def build_tiered(
+    capacity_bytes: int, name: str, spec: TieringSpec
+) -> TieredMemory:
+    """One tiered device of ``capacity_bytes``, split per the spec.
+
+    The fast share is rounded down to whole pages; both tiers keep at
+    least one page so the device is genuinely two-tiered.
+    """
+    pb = spec.config.page_bytes
+    if capacity_bytes % pb:
+        raise ConfigurationError(
+            f"tiered capacity {capacity_bytes} is not a multiple of the "
+            f"{pb}B page"
+        )
+    pages = capacity_bytes // pb
+    if pages < 2:
+        raise ConfigurationError(
+            f"tiered device needs >= 2 pages, got {pages}"
+        )
+    fast_pages = min(max(1, int(pages * spec.fast_fraction)), pages - 1)
+    fast = DdrDram(fast_pages * pb, name=f"{name}.fast")
+    slow = _SLOW_FACTORIES[spec.slow_memory](
+        (pages - fast_pages) * pb, f"{name}.slow"
+    )
+    return TieredMemory(
+        fast, slow, make_policy(spec.policy), spec.config, name=name
+    )

@@ -1,0 +1,122 @@
+"""Migration policies: when a :class:`TieredMemory` moves a page.
+
+A policy's one entry point is :meth:`MigrationPolicy.maybe_migrate` —
+called on every access *before* the demand request is served, with the
+device and the (already heat-bumped) logical page.  It returns the
+simulated time at which the demand access may proceed: ``now_ps`` when
+nothing moved, or the completion time of the migration traffic when a
+promotion ran (the demand access then lands in the fast tier and queues
+behind the swap's bus commands).
+
+Three policies, one per tiering philosophy:
+
+``static``
+    Pin the initial placement forever.  The baseline every migrating
+    policy is measured against — and the model of systems that partition
+    by address range (the paper's homogeneous cards are this).
+``clock``
+    Hot-promote / cold-demote: a slow page whose epoch-decayed counter
+    reaches ``promote_threshold`` is swapped with a CLOCK second-chance
+    victim immediately, whatever the traffic cost.
+``budget``
+    The ``clock`` trigger behind a migration-bandwidth budget: each
+    epoch grants ``migrate_budget_bytes`` of migration traffic, a swap
+    spends two pages' worth, and once the allowance is gone further
+    promotions stall (counted, visible as ``tier.migration_stalls``)
+    until the next epoch.  Models the migration-traffic throttles real
+    tiering controllers ship so demand bandwidth is never starved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ..errors import ConfigurationError
+from .device import SLOW, TieredMemory
+
+
+class MigrationPolicy:
+    """Decides, per access, whether migration traffic runs first."""
+
+    name = "abstract"
+
+    def maybe_migrate(
+        self, device: TieredMemory, page: int, now_ps: int
+    ) -> int:
+        """Return when the demand access may start (>= ``now_ps``)."""
+        raise NotImplementedError
+
+
+class StaticPolicy(MigrationPolicy):
+    """Never migrate: the initial page placement is permanent."""
+
+    name = "static"
+
+    def maybe_migrate(
+        self, device: TieredMemory, page: int, now_ps: int
+    ) -> int:
+        return now_ps
+
+
+class ClockPolicy(MigrationPolicy):
+    """Promote slow pages that cross the hotness threshold, eagerly."""
+
+    name = "clock"
+
+    def maybe_migrate(
+        self, device: TieredMemory, page: int, now_ps: int
+    ) -> int:
+        if device.tier_of(page) != SLOW:
+            return now_ps
+        if device.heat(page) < device.config.promote_threshold:
+            return now_ps
+        if device.migration_frozen:
+            device.note_stall()
+            return now_ps
+        return self._admit(device, page, now_ps)
+
+    def _admit(self, device: TieredMemory, page: int, now_ps: int) -> int:
+        """Run the promotion; subclasses gate it behind a budget."""
+        return device.promote(page, now_ps)
+
+
+class BudgetPolicy(ClockPolicy):
+    """CLOCK promotion behind a per-epoch migration-bandwidth budget."""
+
+    name = "budget"
+
+    def __init__(self) -> None:
+        self._tokens = 0
+        self._epoch = -1
+
+    def _admit(self, device: TieredMemory, page: int, now_ps: int) -> int:
+        epoch = now_ps // device.config.epoch_ps
+        if epoch > self._epoch:
+            self._epoch = epoch
+            self._tokens = device.config.migrate_budget_bytes
+        cost = 2 * device.config.page_bytes
+        if self._tokens < cost:
+            device.note_stall()
+            return now_ps
+        self._tokens -= cost
+        return device.promote(page, now_ps)
+
+
+#: the policy registry: ``CardSpec.tier_policy`` and the tuner's
+#: ``tier.policy`` knob resolve names here
+POLICIES: Dict[str, Type[MigrationPolicy]] = {
+    StaticPolicy.name: StaticPolicy,
+    ClockPolicy.name: ClockPolicy,
+    BudgetPolicy.name: BudgetPolicy,
+}
+
+
+def make_policy(name: str) -> MigrationPolicy:
+    """Instantiate a registered policy (fresh state per device)."""
+    cls = POLICIES.get(name)
+    if cls is None:
+        known = ", ".join(sorted(POLICIES))
+        raise ConfigurationError(
+            f"unknown migration policy {name!r} (known: {known})"
+        )
+    return cls()

@@ -79,7 +79,7 @@ class MemoryController:
         """Issue a read; returned signal triggers with the data bytes."""
         done = Signal(f"{self.name}.rd@{addr:#x}")
         self._enqueue(
-            lambda: self._do_read(addr, nbytes, done),
+            lambda: self._do_read(addr, nbytes, done, journey),
             self._journey_probe(journey, done),
         )
         self.reads_submitted += 1
@@ -95,7 +95,7 @@ class MemoryController:
         """Issue a write; returned signal triggers (with None) on completion."""
         done = Signal(f"{self.name}.wr@{addr:#x}")
         self._enqueue(
-            lambda: self._do_write(addr, data, done),
+            lambda: self._do_write(addr, data, done, journey),
             self._journey_probe(journey, done),
         )
         self.writes_submitted += 1
@@ -161,9 +161,26 @@ class MemoryController:
     #: controllers "poison" the data so consumers can detect the loss
     POISON_BYTE = 0xDE
 
-    def _do_read(self, addr: int, nbytes: int, done: Signal) -> None:
+    def _journey_context(self, journey: Optional[int]):
+        """The journey tracker to push ``journey`` onto around the device
+        access, or None.  Tiered devices stage their per-tier visits into
+        the enclosing journey through this ambient context."""
+        if journey is None:
+            return None
+        trace = probe.session
+        if trace is None or trace.journeys is None:
+            return None
+        return trace.journeys
+
+    def _do_read(
+        self, addr: int, nbytes: int, done: Signal,
+        journey: Optional[int] = None,
+    ) -> None:
         from .ecc import UncorrectableEccError
 
+        journeys = self._journey_context(journey)
+        if journeys is not None:
+            journeys.push(journey)
         try:
             data, finish_ps = self.device.read(addr, nbytes, self.sim.now_ps)
         except UncorrectableEccError:
@@ -172,11 +189,24 @@ class MemoryController:
             self.uncorrectable_errors += 1
             data = bytes([self.POISON_BYTE]) * nbytes
             finish_ps = self.sim.now_ps + self.config.command_overhead_ps
+        finally:
+            if journeys is not None:
+                journeys.pop()
         complete_at = finish_ps + self.config.response_overhead_ps
         self.sim.call_at(complete_at, self._complete, done, data)
 
-    def _do_write(self, addr: int, data: bytes, done: Signal) -> None:
-        finish_ps = self.device.write(addr, data, self.sim.now_ps)
+    def _do_write(
+        self, addr: int, data: bytes, done: Signal,
+        journey: Optional[int] = None,
+    ) -> None:
+        journeys = self._journey_context(journey)
+        if journeys is not None:
+            journeys.push(journey)
+        try:
+            finish_ps = self.device.write(addr, data, self.sim.now_ps)
+        finally:
+            if journeys is not None:
+                journeys.pop()
         complete_at = finish_ps + self.config.response_overhead_ps
         self.sim.call_at(complete_at, self._complete, done, None)
 

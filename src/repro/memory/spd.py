@@ -25,6 +25,7 @@ _MODULE_TYPES = {
     "mram": 2,
     "nvdimm": 3,
     "nand": 4,
+    "tiered": 5,
 }
 _TYPE_NAMES = {v: k for k, v in _MODULE_TYPES.items()}
 

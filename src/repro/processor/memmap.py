@@ -27,6 +27,11 @@ MIN_DMI_REGION_BYTES = 4 * GIB
 #: where the non-volatile window is anchored (top of a 2 TB real-address map)
 TOP_OF_MAP = 2 << 40
 
+#: module types placed in the OS-RAM block from address 0.  A tiered
+#: hybrid card (DRAM + NVM with migration) is ordinary volatile RAM to
+#: the OS — its hot set lives in DRAM and dies with power.
+VOLATILE_TYPES = ("dram", "tiered")
+
 
 @dataclass(frozen=True)
 class MemoryRegion:
@@ -35,13 +40,13 @@ class MemoryRegion:
     base: int                 # real address as seen by the processor
     hw_size: int              # hardware window (the 4 GB "lie" for MRAM)
     os_size: int              # size reported to Linux (true capacity)
-    memory_type: str          # "dram" | "mram" | "nvdimm"
+    memory_type: str          # "dram" | "tiered" | "mram" | "nvdimm"
     channel: int              # DMI channel that owns the region
     contents_preserved: bool = False
 
     @property
     def is_volatile(self) -> bool:
-        return self.memory_type == "dram"
+        return self.memory_type in VOLATILE_TYPES
 
     @property
     def end(self) -> int:
@@ -65,10 +70,10 @@ class MemoryMap:
         """
         if self.regions:
             raise FirmwareError("memory map already built")
-        dram = [e for e in entries if e["memory_type"] == "dram"]
-        nvm = [e for e in entries if e["memory_type"] != "dram"]
+        dram = [e for e in entries if e["memory_type"] in VOLATILE_TYPES]
+        nvm = [e for e in entries if e["memory_type"] not in VOLATILE_TYPES]
 
-        # DRAM: sorted to one contiguous block from address 0
+        # volatile RAM (DRAM, tiered): one contiguous block from address 0
         base = 0
         for entry in sorted(dram, key=lambda e: e["channel"]):
             self.regions.append(
@@ -76,7 +81,7 @@ class MemoryMap:
                     base=base,
                     hw_size=entry["capacity_bytes"],
                     os_size=entry["capacity_bytes"],
-                    memory_type="dram",
+                    memory_type=entry["memory_type"],
                     channel=entry["channel"],
                 )
             )

@@ -106,6 +106,31 @@ def _campaign_html(campaign: dict) -> List[str]:
         ))
         share_rows = [(r["stage"], r["share"]) for r in stages]
         parts.append(f'<div class="chart">{hbar_svg(share_rows)}</div>')
+    if campaign.get("occupancy"):
+        parts.append("<h3>Occupancy histograms</h3>")
+        parts.append(_table(
+            ["Source", "Samples", "Mean", "Min", "p50", "p95", "p99", "Max"],
+            [
+                [r["source"], int(r.get("count", 0)),
+                 f"{r.get('mean', 0.0):.2f}", f"{r.get('min', 0.0):.0f}",
+                 f"{r.get('p50', 0.0):.0f}", f"{r.get('p95', 0.0):.0f}",
+                 f"{r.get('p99', 0.0):.0f}", f"{r.get('max', 0.0):.0f}"]
+                for r in campaign["occupancy"]
+            ],
+        ))
+        peak = max(r.get("max", 0.0) for r in campaign["occupancy"]) or 1.0
+        parts.append('<div class="chart">' + hbar_svg(
+            [(r["source"], r.get("mean", 0.0) / peak)
+             for r in campaign["occupancy"]],
+            color=BAR_COLOR,
+        ) + "</div>")
+    if campaign.get("tier_metrics"):
+        parts.append("<h3>Hybrid-memory tiering</h3>")
+        parts.append(_table(
+            ["Metric", "Value"],
+            [[k, f"{v:g}"] for k, v in sorted(
+                campaign["tier_metrics"].items())],
+        ))
     if campaign["fault_buckets"]:
         parts.append("<h3>Fault injections vs latency over sim time</h3>")
         buckets = campaign["fault_buckets"]

@@ -14,7 +14,10 @@ Record provenance per section:
 
 * campaigns — ``campaign-<name>/attribution.jsonl`` (``end_to_end`` +
   ``stage_summary`` records, plus ``fault_window`` records bucketed
-  against the journeys when the campaign injected faults);
+  against the journeys when the campaign injected faults) and
+  ``campaign-<name>/metrics.jsonl`` (the final ``merged`` snapshot:
+  occupancy histograms and ``tier.*`` hybrid-memory counters — both
+  deterministic merges of per-job sim-time metrics);
 * services — ``service-<name>/run_table.jsonl`` (window + repetition
   records, SLO verdict columns included);
 * tunes — ``tune-<name>/pareto.jsonl`` (meta + trial records);
@@ -43,6 +46,35 @@ STAGE_METRICS = ("count", "mean_ps", "p50_ps", "p95_ps", "p99_ps", "max_ps",
 #: time slices in the fault injections-vs-latency view
 FAULT_BUCKETS = 10
 
+#: the stat suffixes a histogram expands into in a metrics snapshot
+HIST_STATS = ("count", "mean", "min", "max", "p50", "p95", "p99")
+
+
+def _merged_snapshot(out_dir: Path, name: str) -> dict:
+    """The campaign's final ``merged`` metrics snapshot (last one wins)."""
+    path = out_dir / f"campaign-{name}" / "metrics.jsonl"
+    if not path.exists():
+        return {}
+    records, _ = read_artifact(path)
+    merged: dict = {}
+    for record in records:
+        if record.get("kind") == "snapshot" and record.get("label") == "merged":
+            merged = record.get("metrics", {})
+    return merged
+
+
+def _occupancy_rows(metrics: dict) -> list:
+    """``occupancy.<source>.<stat>`` snapshot keys, one row per source."""
+    rows: dict = {}
+    for key, value in metrics.items():
+        if not key.startswith("occupancy."):
+            continue
+        prefix, _, stat = key.rpartition(".")
+        if stat not in HIST_STATS:
+            continue
+        rows.setdefault(prefix[len("occupancy."):], {})[stat] = value
+    return [{"source": source, **stats} for source, stats in sorted(rows.items())]
+
 
 def _campaign_section(out_dir: Path, entry) -> dict:
     records, _ = read_artifact(out_dir / f"campaign-{entry.name}"
@@ -67,6 +99,7 @@ def _campaign_section(out_dir: Path, entry) -> dict:
         time_buckets(windows, journeys, buckets=FAULT_BUCKETS)
         if windows and journeys else []
     )
+    merged = _merged_snapshot(out_dir, entry.name)
     return {
         "name": entry.name,
         "journeys": meta.get("journeys", 0),
@@ -75,6 +108,10 @@ def _campaign_section(out_dir: Path, entry) -> dict:
         "end_to_end": end_to_end,
         "stages": stages,
         "fault_buckets": buckets,
+        "occupancy": _occupancy_rows(merged),
+        "tier_metrics": {
+            k: v for k, v in sorted(merged.items()) if k.startswith("tier.")
+        },
     }
 
 

@@ -97,22 +97,31 @@ class BlockDevice:
 
     # -- interface ----------------------------------------------------------
 
-    def submit_read(self, offset: int, nbytes: int) -> Signal:
+    def submit_read(
+        self, offset: int, nbytes: int, stage: Optional[str] = None
+    ) -> Signal:
         """Read; the signal fires when the IO completes.  The value is
         None on success (block data is not modeled functionally at this
         layer) or a :class:`StorageError` when injected failures exhaust
-        the retry bound."""
-        return self._submit("read", offset, nbytes)
+        the retry bound.  ``stage`` renames the journey's service stage
+        (the write cache attributes ``wcache.read_hit`` /
+        ``wcache.read_miss`` instead of ``storage.service``)."""
+        return self._submit("read", offset, nbytes, stage=stage)
 
-    def submit_write(self, offset: int, nbytes: int) -> Signal:
-        return self._submit("write", offset, nbytes)
+    def submit_write(
+        self, offset: int, nbytes: int, stage: Optional[str] = None
+    ) -> Signal:
+        return self._submit("write", offset, nbytes, stage=stage)
 
-    def _submit(self, op: str, offset: int, nbytes: int) -> Signal:
+    def _submit(
+        self, op: str, offset: int, nbytes: int, stage: Optional[str] = None
+    ) -> Signal:
         self._check(offset, nbytes)
         short = "r" if op == "read" else "w"
         done = Signal(f"{self.name}.{short}@{offset:#x}")
         t0 = self.sim.now_ps
         schedule = self._schedule_read if op == "read" else self._schedule_write
+        service_stage = stage or "storage.service"
         journeys = None
         jid = None
         owned = False
@@ -126,11 +135,11 @@ class BlockDevice:
                     owned = jid is not None
         state = {"attempt": 0, "queue_end": t0, "slowed": False}
 
-        def stage(end_ps: int) -> None:
+        def stage_to(end_ps: int) -> None:
             if journeys is not None and jid is not None:
                 journeys.stage_to(jid, "storage.queue", state["queue_end"],
                                   kind="queue")
-                journeys.stage_to(jid, "storage.service", end_ps)
+                journeys.stage_to(jid, service_stage, end_ps)
 
         def finish(error: Optional[StorageError]) -> None:
             now = self.sim.now_ps
@@ -162,7 +171,7 @@ class BlockDevice:
                     trace.instant("storage", f"io_error:{self.name}", now,
                                   {"op": op, "offset": offset})
                     trace.count("storage.io_failed")
-            stage(now)
+            stage_to(now)
             if owned:
                 journeys.finish(jid, now)
             done.trigger(error)
@@ -190,7 +199,7 @@ class BlockDevice:
                     if trace is not None:
                         trace.count("storage.io_retries")
                     # account the failed attempt before re-queueing
-                    stage(now)
+                    stage_to(now)
                     state["queue_end"] = now
                     queue_end = schedule(offset, nbytes, complete)
                     if queue_end is not None:

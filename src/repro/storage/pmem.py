@@ -254,17 +254,21 @@ class PmemBlockDevice:
             return
         if journeys is not None and jid is not None:
             # trailing service: retry gaps and the slow-disk penalty
-            journeys.stage_to(jid, "storage.service", self.sim.now_ps)
+            journeys.stage_to(
+                jid, state.get("stage") or "storage.service", self.sim.now_ps
+            )
             if owned:
                 journeys.finish(jid, self.sim.now_ps)
         done.trigger(error)
 
     # -- interface -----------------------------------------------------------
 
-    def submit_read(self, offset: int, nbytes: int) -> Signal:
+    def submit_read(
+        self, offset: int, nbytes: int, stage: Optional[str] = None
+    ) -> Signal:
         done = Signal(f"{self.name}.r")
         journeys, jid, owned = self._open_journey("read", offset)
-        state = {"attempt": 0}
+        state = {"attempt": 0, "stage": stage}
 
         def attempt() -> None:
             if journeys is not None:
@@ -286,10 +290,12 @@ class PmemBlockDevice:
         attempt()
         return done
 
-    def submit_write(self, offset: int, nbytes: int) -> Signal:
+    def submit_write(
+        self, offset: int, nbytes: int, stage: Optional[str] = None
+    ) -> Signal:
         done = Signal(f"{self.name}.w")
         journeys, jid, owned = self._open_journey("write", offset)
-        state = {"attempt": 0}
+        state = {"attempt": 0, "stage": stage}
 
         def attempt() -> None:
             if journeys is not None:

@@ -23,6 +23,15 @@ freed segment can admit more than one small write).  A burst of stalled
 writes can therefore never over-fill the log past ``segment_bytes *
 segments``.  Writes that straddle the circular-log boundary are split
 into two log IOs and acknowledged when both are persistent.
+
+Reads are real too: the cache tracks which application extents are
+currently staged in the log (FIFO residency, retired as the destager
+drains segments).  A read fully covered by one resident extent is served
+from the NVM log at NVM latency and attributed ``wcache.read_hit``; any
+other read — destaged, never written, or straddling staged writes — goes
+to the backing disk as ``wcache.read_miss``.  Both stages replace the
+inner IO's ``storage.service`` in the journey, so a latency breakdown
+separates log-served reads from disk-served ones.
 """
 
 from __future__ import annotations
@@ -95,7 +104,12 @@ class NvWriteCache:
         #: segment, and each re-runs admission before staging
         self._stalled: List[Signal] = []
         self._next_disk_offset = 0
+        #: staged-but-not-destaged extents, oldest first:
+        #: ``[app_offset, nbytes, log_offset]`` — the read path's index
+        self._resident: List[List[int]] = []
         # Stats
+        self.read_hits = 0
+        self.read_misses = 0
         self.writes_staged = 0
         self.destages = 0
         self.stalls = 0
@@ -106,6 +120,110 @@ class NvWriteCache:
         #: high-water mark of staged-but-not-destaged log bytes; bounded
         #: by ``segment_bytes * segments`` now that admission is strict
         self.max_occupancy_bytes = 0
+
+    # -- application-facing read ---------------------------------------------
+
+    def read(self, offset: int, nbytes: int) -> Signal:
+        """Serve a read from the NVM log while the data is staged there.
+
+        A hit requires full containment in one resident extent; anything
+        else — destaged, never written, or spanning staged writes — is a
+        miss against the backing disk.  The signal's value is None on
+        success or the surfaced :class:`StorageError`.
+        """
+        done = Signal(f"{self.name}.r")
+        journeys = None
+        jid = None
+        owned = False
+        trace = probe.session
+        if trace is not None:
+            journeys = trace.journeys
+            if journeys is not None:
+                jid = journeys.current()
+                if jid is None:
+                    jid = journeys.begin(
+                        "storage.read", offset, self.name, self.sim.now_ps
+                    )
+                    owned = jid is not None
+
+        def finished(error) -> None:
+            if owned and journeys is not None and jid is not None:
+                journeys.finish(jid, self.sim.now_ps)
+            done.trigger(error)
+
+        extent = self._find_resident(offset, nbytes)
+        if extent is None:
+            self.read_misses += 1
+            if trace is not None:
+                trace.count("storage.wcache.read_misses")
+            if journeys is not None:
+                journeys.push(jid)
+            inner = self.backing.submit_read(
+                offset, nbytes, stage="wcache.read_miss"
+            )
+            if journeys is not None:
+                journeys.pop()
+            inner.add_waiter(finished)
+            return done
+
+        self.read_hits += 1
+        if trace is not None:
+            trace.count("storage.wcache.read_hits")
+        # the staged copy may straddle the circular-log end even when the
+        # original write did not retire there — split like the write path
+        log_size = self.config.segment_bytes * self.config.segments
+        log_offset = (extent[2] + (offset - extent[0])) % log_size
+        first_part = min(nbytes, log_size - log_offset)
+        parts = [(log_offset, first_part)]
+        if first_part < nbytes:
+            parts.append((0, nbytes - first_part))
+        pending = {"count": len(parts), "error": None}
+
+        def part_done(value) -> None:
+            if isinstance(value, StorageError):
+                pending["error"] = value
+            pending["count"] -= 1
+            if pending["count"] == 0:
+                finished(pending["error"])
+
+        for part_offset, part_bytes in parts:
+            if journeys is not None:
+                journeys.push(jid)
+            inner = self.log_device.submit_read(
+                part_offset, part_bytes, stage="wcache.read_hit"
+            )
+            if journeys is not None:
+                journeys.pop()
+            inner.add_waiter(part_done)
+        return done
+
+    def _find_resident(self, offset: int, nbytes: int) -> Optional[List[int]]:
+        """Newest resident extent fully covering ``[offset, +nbytes)``.
+
+        Newest-first so a rewrite of the same record hits its latest
+        staged copy, not a stale one awaiting destage.
+        """
+        for extent in reversed(self._resident):
+            if extent[0] <= offset and offset + nbytes <= extent[0] + extent[1]:
+                return extent
+        return None
+
+    def _retire(self, nbytes: int) -> None:
+        """Drop residency for the oldest ``nbytes`` of staged data — the
+        log drains FIFO, so a destaged segment retires the oldest extents
+        (the head extent shrinks when the segment boundary splits it)."""
+        log_size = self.config.segment_bytes * self.config.segments
+        remaining = nbytes
+        while remaining > 0 and self._resident:
+            head = self._resident[0]
+            if head[1] <= remaining:
+                remaining -= head[1]
+                self._resident.pop(0)
+            else:
+                head[0] += remaining
+                head[2] = (head[2] + remaining) % log_size
+                head[1] -= remaining
+                remaining = 0
 
     # -- application-facing write --------------------------------------------
 
@@ -185,6 +303,7 @@ class NvWriteCache:
         log_size = self.config.segment_bytes * self.config.segments
         log_offset = self._log_cursor
         self._log_cursor = (log_offset + nbytes) % log_size
+        self._resident.append([offset, nbytes, log_offset])
         self._segment_fill += nbytes
         while self._segment_fill >= self.config.segment_bytes:
             self._segment_fill -= self.config.segment_bytes
@@ -299,6 +418,7 @@ class NvWriteCache:
                 return
             self.destages += 1
             self._full_segments -= 1
+            self._retire(self.config.segment_bytes)
             self._destage_active = False
             trace = probe.session
             if trace is not None:
@@ -319,7 +439,7 @@ class NvWriteCache:
 
 
 class DirectStore:
-    """No-cache comparison path: every write goes straight to the device."""
+    """No-cache comparison path: every IO goes straight to the device."""
 
     def __init__(self, device, name: str = "direct"):
         self.device = device
@@ -327,3 +447,6 @@ class DirectStore:
 
     def write(self, offset: int, nbytes: int) -> Signal:
         return self.device.submit_write(offset, nbytes)
+
+    def read(self, offset: int, nbytes: int) -> Signal:
+        return self.device.submit_read(offset, nbytes)

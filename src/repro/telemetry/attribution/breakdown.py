@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..metrics import Histogram
-from .journey import QUEUE_STAGES, STAGE_ORDER
+from .journey import NESTED_UNDER, QUEUE_STAGES, STAGE_ORDER
 
 
 class LatencyBreakdown:
@@ -57,22 +57,31 @@ class LatencyBreakdown:
 
         top: Dict[str, int] = {}
         nested: Dict[str, int] = {}
-        nested_total = 0
+        child_sum: Dict[str, int] = {}
         for visit in record.get("stages", []):
             dur = visit["end_ps"] - visit["start_ps"]
             if visit.get("nested"):
-                nested[visit["stage"]] = nested.get(visit["stage"], 0) + dur
-                nested_total += dur
+                stage = visit["stage"]
+                nested[stage] = nested.get(stage, 0) + dur
+                parent = NESTED_UNDER.get(stage, "buffer")
+                child_sum[parent] = child_sum.get(parent, 0) + dur
             else:
                 top[visit["stage"]] = top.get(visit["stage"], 0) + dur
-        # the buffer window contains the memory visits; report it exclusive
-        if "buffer" in top:
-            top["buffer"] = max(0, top["buffer"] - nested_total)
+        # top-level stages tile the journey, so the residual is fixed
+        # before any exclusive-time bookkeeping below
+        residual = total - sum(top.values())
+        # each parent window contains its nested visits; report the
+        # parent exclusive of them (nested tier.* spans live inside
+        # memory.service, memory.* visits inside the buffer window)
+        for parent, children_ps in child_sum.items():
+            if parent in top:
+                top[parent] = max(0, top[parent] - children_ps)
+            elif parent in nested:
+                nested[parent] = max(0, nested[parent] - children_ps)
         for stage, dur in top.items():
             self._stage_hist(scenario, stage).record(dur)
         for stage, dur in nested.items():
             self._stage_hist(scenario, stage).record(dur)
-        residual = total - sum(top.values()) - nested_total
         self._hist(self._residuals, scenario).record(residual)
 
     def add_records(self, records) -> None:

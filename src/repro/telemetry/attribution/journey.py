@@ -58,6 +58,12 @@ STAGE_ORDER = (
     "buffer",
     "memory.queue",
     "memory.service",
+    # tiered-memory visits, nested inside the memory.service window:
+    # migration traffic first (it runs before the demand access it was
+    # triggered by), then the demand access on the tier that served it
+    "tier.migrate",
+    "tier.fast",
+    "tier.slow",
     "dmi.up",
     # storage-stack stages, in the order a GPFS/FIO transfer visits them
     "gpfs.software",
@@ -67,6 +73,10 @@ STAGE_ORDER = (
     "storage.persist",
     "storage.queue",
     "storage.service",
+    # write-cache read path: hits replay from the NVM log, misses pass
+    # through to the backing store
+    "wcache.read_hit",
+    "wcache.read_miss",
     "storage.io",
     # accelerator DMA stages: pacing waits for a DIMM port's next burst
     # slot, then the streamed transfer itself
@@ -77,6 +87,16 @@ STAGE_ORDER = (
 #: which canonical stages are queueing time
 QUEUE_STAGES = frozenset({"host.tag_wait", "memory.queue",
                           "wcache.admit", "storage.queue", "accel.pace"})
+
+#: which parent stage a *nested* span overlaps.  The breakdown layer
+#: subtracts each nested stage's time from its parent so the report's
+#: parent rows are exclusive and the stages still tile the journey.
+#: Stages absent from the map nest under the default "buffer" window.
+NESTED_UNDER = {
+    "tier.fast": "memory.service",
+    "tier.slow": "memory.service",
+    "tier.migrate": "memory.service",
+}
 
 
 @dataclass

@@ -89,6 +89,12 @@ def occupancy_sources(socket) -> Dict[str, Callable[[], float]]:
         for mc in getattr(buffer, "ports", []):
             sources[f"memory.{mc.name}.in_flight"] = lambda m=mc: m.in_flight
             device = mc.device
+            if hasattr(device, "hot_slow_pages"):
+                # tiered hybrid memory: slow-tier pages currently over
+                # the promotion threshold — the migration backlog
+                sources[f"tier.{device.name}.hot_slow_pages"] = (
+                    lambda d=device: float(d.hot_slow_pages)
+                )
             if hasattr(device, "banks_busy"):
                 sources[f"memory.{device.name}.banks_busy"] = (
                     lambda d=device, s=sim: d.banks_busy(s.now_ps)

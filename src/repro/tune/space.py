@@ -37,7 +37,7 @@ TUNE_SCHEMA = "repro.tune/v1"
 TUNE_SCHEMA_VERSION = 1
 
 #: workloads a trial can run (see repro.tune.trial)
-WORKLOADS = ("mem_read", "mem_write", "gpfs_write")
+WORKLOADS = ("mem_read", "mem_write", "gpfs_write", "tier_replay")
 
 #: metrics a trial reports; any of them can be an objective
 OBJECTIVE_METRICS = (
@@ -131,6 +131,15 @@ KNOBS: Dict[str, Knob] = {
              doc="segments in the NVM log"),
         Knob("wcache.destage_threshold", "int", 1, 64,
              doc="full segments that trigger destaging"),
+        # hybrid-memory tiering (tier_replay workload, docs/hybrid.md)
+        Knob("tier.fast_fraction", "float", 0.05, 0.75,
+             doc="share of a tiered card's capacity in the DRAM tier"),
+        Knob("tier.policy", "choice", choices=("static", "clock", "budget"),
+             doc="page-migration policy"),
+        Knob("tier.promote_threshold", "int", 1, 64,
+             doc="epoch-decayed accesses that make a slow page hot"),
+        Knob("tier.migrate_budget_kib", "int", 4, 65536,
+             doc="migration-traffic allowance per epoch (budget policy)"),
     )
 }
 
@@ -176,16 +185,29 @@ def check_workload_knobs(workload: str, names) -> None:
     instead.
     """
     wcache = sorted(n for n in names if n.startswith("wcache."))
-    other = sorted(n for n in names if not n.startswith("wcache."))
-    if workload == "gpfs_write" and other:
+    tier = sorted(n for n in names if n.startswith("tier."))
+    other = sorted(
+        n for n in names
+        if not n.startswith("wcache.") and not n.startswith("tier.")
+    )
+    if workload == "gpfs_write":
+        if other or tier:
+            raise ConfigurationError(
+                f"workload gpfs_write only exercises wcache.* knobs; "
+                f"{', '.join(other + tier)} would have no effect"
+            )
+        return
+    if workload == "tier_replay":
+        if other or wcache:
+            raise ConfigurationError(
+                f"workload tier_replay only exercises tier.* knobs; "
+                f"{', '.join(other + wcache)} would have no effect"
+            )
+        return
+    if wcache or tier:
         raise ConfigurationError(
-            f"workload gpfs_write only exercises wcache.* knobs; "
-            f"{', '.join(other)} would have no effect"
-        )
-    if workload != "gpfs_write" and wcache:
-        raise ConfigurationError(
-            f"workload {workload} does not touch the write cache; "
-            f"{', '.join(wcache)} would have no effect"
+            f"workload {workload} does not touch the write cache or the "
+            f"tiered device; {', '.join(wcache + tier)} would have no effect"
         )
 
 

@@ -18,6 +18,12 @@ Workloads:
     ``samples`` synchronous GPFS-style 4 KiB writes through an
     :class:`~repro.storage.NvWriteCache` whose geometry comes from the
     config's ``wcache.*`` knobs (NVRAM log in front of a hard disk).
+``tier_replay``
+    ``samples`` key-value-mix operations replayed against a ConTutto
+    card carrying a :class:`~repro.hybrid.TieredMemory` whose split,
+    policy, and migration knobs come from the config's ``tier.*`` knobs
+    (docs/hybrid.md) — the search trades fast-tier capacity against
+    migration traffic.
 
 The trial reports a metric table (one row per objective metric).
 Percentiles use the repo-wide nearest-rank convention; ``occupancy`` is
@@ -40,6 +46,7 @@ from ..core.results import ResultTable
 from ..core.system import CardSpec, ContuttoSystem
 from ..errors import ConfigurationError
 from ..faults import FaultController, FaultPlan
+from ..hybrid import TieredConfig, TieringSpec
 from ..memory import DDR3_1066, DDR3_1333, DDR3_1600
 from ..processor import SocketConfig
 from ..sim import Rng, Signal, Simulator
@@ -53,6 +60,8 @@ from ..storage import (
 )
 from ..units import CACHE_LINE_BYTES, GIB, MIB
 from ..workloads import GpfsJob, GpfsWriter
+from ..workloads.replay import generate, replay
+from ..workloads.trace import TraceSpec
 from .space import check_workload_knobs, validate_config
 
 #: columns of the trial result table
@@ -70,6 +79,13 @@ _LOG_BYTES = 256 * MIB
 #: per-write size for the gpfs_write workload — large relative to small
 #: segment geometries so destage pressure shows up within a trial budget
 _WRITE_BYTES = 512 * 1024
+
+#: tier_replay geometry: small tiered DIMMs, a replay span that starts
+#: cold in the slow tier, and a short epoch so decay/budget refill are
+#: exercised within a trial budget (mirrors the tiered_replay experiment)
+_TIER_DIMM_BYTES = 64 * MIB
+_TIER_SPAN_BYTES = 256 * 1024
+_TIER_EPOCH_PS = 50_000_000
 
 _DDR_GRADES = {
     "ddr3_1066": DDR3_1066,
@@ -264,6 +280,49 @@ def _run_gpfs_workload(
     return _metric_rows(latencies, sim.now_ps - t_start, errors)
 
 
+def _run_tier_workload(
+    config: Dict[str, object],
+    samples: int,
+    depth: int,
+    plan: Optional[FaultPlan],
+    seed: int,
+) -> List[Tuple[str, float]]:
+    tiering = TieringSpec(
+        fast_fraction=float(config.get("tier.fast_fraction", 0.25)),
+        policy=str(config.get("tier.policy", "clock")),
+        config=TieredConfig(
+            epoch_ps=_TIER_EPOCH_PS,
+            promote_threshold=int(config.get("tier.promote_threshold", 4)),
+            migrate_budget_bytes=(
+                int(config.get("tier.migrate_budget_kib", 32)) * 1024
+            ),
+        ),
+    )
+    system = ContuttoSystem.build(
+        [CardSpec(slot=0, kind="contutto", memory="tiered",
+                  capacity_per_dimm=_TIER_DIMM_BYTES, tiering=tiering)],
+        seed=derive_seed(seed, "system"),
+    )
+    controller = None
+    if plan is not None:
+        controller = FaultController(
+            system.sim, plan, seed=derive_seed(seed, "faults")
+        )
+        controller.install(system).start()
+    region = system.region_for_slot(0)
+    spec = TraceSpec(
+        base=region.base,
+        size_bytes=min(region.os_size, _TIER_SPAN_BYTES),
+        num_accesses=samples,
+    )
+    ops = generate("kv", spec, derive_seed(seed, "ops"))
+    latencies, elapsed, errors = replay(system, ops, depth=depth)
+    if controller is not None:
+        controller.heal()
+        controller.stop()
+    return _metric_rows(latencies, elapsed, errors)
+
+
 # -- the campaign experiment -------------------------------------------------
 
 
@@ -279,9 +338,9 @@ def run_tune_trial(
 
     ``config`` is the canonical knob JSON (part of the cache identity);
     ``faults`` an optional canonical fault-plan JSON installed on the
-    built system for the run (memory workloads only — like the service
-    classes, the bare-simulator storage path has no system to inject
-    into).
+    built system for the run (system-building workloads only — like the
+    service classes, the bare-simulator gpfs_write path has no system to
+    inject into).
     """
     try:
         knobs = validate_config(json.loads(config))
@@ -301,6 +360,8 @@ def run_tune_trial(
         )
     elif workload == "gpfs_write":
         rows = _run_gpfs_workload(knobs, samples, seed)
+    elif workload == "tier_replay":
+        rows = _run_tier_workload(knobs, samples, depth, plan, seed)
     else:
         raise ConfigurationError(f"unknown trial workload {workload!r}")
 

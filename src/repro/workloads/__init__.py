@@ -1,8 +1,19 @@
-"""Workload models: SPEC CINT2006, DB2 BLU, FIO, GPFS, synthetic traces."""
+"""Workload models: SPEC CINT2006, DB2 BLU, FIO, GPFS, synthetic traces,
+and the replay engine for irregular access streams (docs/hybrid.md)."""
 
 from .db2 import CALIBRATION_LATENCY_NS, NUM_QUERIES, Db2BluWorkload, Query
 from .fio import FioJob, FioResult, FioRunner
 from .gpfs import GpfsJob, GpfsResult, GpfsWriter
+from .replay import (
+    REPLAY_WORKLOADS,
+    generate,
+    graph_walk,
+    kv_mix,
+    pointer_probe,
+    replay,
+    replay_depth,
+    trace_bytes,
+)
 from .spec import SpecSuite, cint2006_profiles, profile_by_name
 from .trace import TraceSpec, pointer_chase, random_lines, sequential, strided
 
@@ -17,12 +28,20 @@ __all__ = [
     "GpfsWriter",
     "NUM_QUERIES",
     "Query",
+    "REPLAY_WORKLOADS",
     "SpecSuite",
     "TraceSpec",
     "cint2006_profiles",
+    "generate",
+    "graph_walk",
+    "kv_mix",
     "pointer_chase",
+    "pointer_probe",
     "profile_by_name",
     "random_lines",
+    "replay",
+    "replay_depth",
     "sequential",
     "strided",
+    "trace_bytes",
 ]

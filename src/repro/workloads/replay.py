@@ -1,0 +1,183 @@
+"""Workload replay: synthesized irregular access streams through the socket.
+
+The paper's workloads stop at STREAM-like sweeps and FIO/GPFS storage
+loads.  This engine generates the access-pattern classes the related
+work flags as the hard cases for emerging-memory latency — and that a
+tiering policy actually has to earn its keep on:
+
+``graph``
+    Graph-processing strides (BFS/PageRank frontier expansion): jump to
+    a random vertex, then scan a short sequential burst of neighbour
+    lines.  Mostly-random with bursty spatial locality; read-only.
+``kv``
+    Key-value / page-cache mix: a small hot set absorbs most accesses
+    (the classic skewed-popularity shape) with a read/write mix, the
+    rest scatter over the cold span.  The pattern tiering rewards most.
+``pointer``
+    The pointer-chase latency probe carried over from :mod:`.trace`: a
+    random cyclic permutation where every load depends on the previous
+    one, so no memory-level parallelism hides added latency.
+
+Generation is split from execution so determinism is testable at the
+byte level: :func:`generate` is a pure function of (workload, spec,
+seed) and :func:`trace_bytes` is its canonical encoding — same seed,
+same bytes, on any host at any worker count.  :func:`replay` then drives
+a built system's socket with the generated operations, ``depth`` kept in
+flight (forced to 1 for ``pointer``, which is serial by construction).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import ConfigurationError
+from ..sim import Rng, Signal
+from ..units import CACHE_LINE_BYTES
+from .trace import TraceSpec, pointer_chase
+
+#: one replayed operation: ("read" | "write", line-aligned address)
+Op = Tuple[str, int]
+
+#: per-op patience when replaying (generous against fault windows)
+_OP_TIMEOUT_PS = 10**14
+
+#: graph workload: neighbour-list burst length, in lines
+GRAPH_BURST_LINES = 4
+
+#: kv workload: hot-set geometry and mix.  Popularity skew is
+#: page-granular (a hot key drags its whole 4 KiB object/page-cache
+#: page along), which is exactly the locality page-granule tiering
+#: can exploit — line-granular skew would be invisible to it.
+KV_PAGE_BYTES = 4096
+KV_HOT_FRACTION = 1 / 8       # of the region's pages
+KV_HOT_BIAS = 0.875           # accesses that land in the hot set
+KV_WRITE_FRACTION = 0.3
+
+
+def graph_walk(spec: TraceSpec, rng: Rng) -> List[Op]:
+    """Random vertex jumps, each followed by a sequential burst."""
+    ops: List[Op] = []
+    lines = spec.lines
+    while len(ops) < spec.num_accesses:
+        start = rng.randint(0, lines - 1)
+        degree = 1 + rng.randint(0, GRAPH_BURST_LINES - 1)
+        for i in range(degree):
+            if len(ops) >= spec.num_accesses:
+                break
+            line = (start + i) % lines
+            ops.append(("read", spec.base + line * CACHE_LINE_BYTES))
+    return ops
+
+
+def kv_mix(spec: TraceSpec, rng: Rng) -> List[Op]:
+    """Skewed-popularity read/write mix over hot pages + a cold span."""
+    lines = spec.lines
+    lines_per_page = max(1, KV_PAGE_BYTES // CACHE_LINE_BYTES)
+    pages = max(1, lines // lines_per_page)
+    hot_pages = max(1, int(pages * KV_HOT_FRACTION))
+    # the hot set is a random sample of the region's pages, not a
+    # prefix — hot data scatters across tiers and the tiering policy
+    # has to find it, exactly like real key popularity
+    pool = list(range(pages))
+    rng.shuffle(pool)
+    hot = sorted(pool[:hot_pages])
+    ops: List[Op] = []
+    for _ in range(spec.num_accesses):
+        if rng.random() < KV_HOT_BIAS:
+            page = hot[rng.randint(0, hot_pages - 1)]
+        else:
+            page = rng.randint(0, pages - 1)
+        line = page * lines_per_page + rng.randint(0, lines_per_page - 1)
+        line %= lines
+        op = "write" if rng.random() < KV_WRITE_FRACTION else "read"
+        ops.append((op, spec.base + line * CACHE_LINE_BYTES))
+    return ops
+
+
+def pointer_probe(spec: TraceSpec, rng: Rng) -> List[Op]:
+    """The dependent-chain latency probe, as replayable operations."""
+    return [("read", addr) for addr in pointer_chase(spec, rng)]
+
+
+#: the replayable workload registry (names are campaign axis values)
+REPLAY_WORKLOADS: Dict[str, Callable[[TraceSpec, Rng], List[Op]]] = {
+    "graph": graph_walk,
+    "kv": kv_mix,
+    "pointer": pointer_probe,
+}
+
+
+def generate(workload: str, spec: TraceSpec, seed: int) -> List[Op]:
+    """Deterministically synthesize a workload's operation list."""
+    generator = REPLAY_WORKLOADS.get(workload)
+    if generator is None:
+        known = ", ".join(sorted(REPLAY_WORKLOADS))
+        raise ConfigurationError(
+            f"unknown replay workload {workload!r} (known: {known})"
+        )
+    return generator(spec, Rng(seed, f"replay.{workload}"))
+
+
+def trace_bytes(workload: str, spec: TraceSpec, seed: int) -> bytes:
+    """Canonical byte encoding of a generated trace (determinism gate)."""
+    ops = generate(workload, spec, seed)
+    return json.dumps(
+        {"workload": workload, "seed": seed, "base": spec.base,
+         "size_bytes": spec.size_bytes, "ops": [[op, addr] for op, addr in ops]},
+        separators=(",", ":"), sort_keys=True,
+    ).encode("ascii")
+
+
+def replay_depth(workload: str, depth: int) -> int:
+    """Effective pipeline depth: pointer chases are serial by nature."""
+    return 1 if workload == "pointer" else depth
+
+
+def replay(system, ops: List[Op], depth: int = 4) -> Tuple[List[int], int, int]:
+    """Drive the socket with ``ops``, ``depth`` kept in flight.
+
+    Returns ``(per-op latencies ps, elapsed ps, errors)``.  Issue order
+    is the generated order; with ``depth > 1`` completions interleave the
+    way a real load/store window would.
+    """
+    if depth < 1:
+        raise ConfigurationError(f"replay depth must be >= 1, got {depth}")
+    if not ops:
+        raise ConfigurationError("nothing to replay: empty operation list")
+    sim = system.sim
+    socket = system.socket
+    payload = bytes(CACHE_LINE_BYTES)
+    total = len(ops)
+    latencies = [0] * total
+    state = {"next": 0, "inflight": 0, "errors": 0}
+    done = Signal("replay.done")
+
+    def issue_next() -> None:
+        i = state["next"]
+        state["next"] += 1
+        state["inflight"] += 1
+        op, addr = ops[i]
+        t0 = sim.now_ps
+        if op == "write":
+            signal = socket.write_line(addr, payload)
+        else:
+            signal = socket.read_line(addr)
+
+        def complete(value, i=i, t0=t0) -> None:
+            latencies[i] = sim.now_ps - t0
+            if isinstance(value, Exception):
+                state["errors"] += 1
+            state["inflight"] -= 1
+            if state["next"] < total:
+                issue_next()
+            elif state["inflight"] == 0:
+                done.trigger(None)
+
+        signal.add_waiter(complete)
+
+    t_start = sim.now_ps
+    for _ in range(min(depth, total)):
+        issue_next()
+    sim.run_until_signal(done, timeout_ps=_OP_TIMEOUT_PS)
+    return latencies, sim.now_ps - t_start, state["errors"]

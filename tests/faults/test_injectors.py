@@ -20,6 +20,7 @@ ALL_INJECTORS = [
     "dmi.degrade",
     "dmi.frame_drop",
     "fpga.clock_jitter",
+    "hybrid.migration_stall",
     "memory.bank_fault",
     "memory.bit_flips",
     "memory.scrub_storm",
@@ -267,3 +268,27 @@ class TestClockJitter:
             "fpga.clock_jitter", params=(("jitter_ps", -1),)))
         with pytest.raises(ConfigurationError):
             injector.inject(0)
+
+
+class TestMigrationStall:
+    def _tiered_system(self):
+        from repro.hybrid import TieringSpec
+        return ContuttoSystem.build(
+            [CardSpec(slot=0, kind="contutto", memory="tiered",
+                      capacity_per_dimm=64 * MIB, tiering=TieringSpec())],
+            seed=0,
+        )
+
+    def test_freezes_and_unfreezes_every_tiered_device(self):
+        system = self._tiered_system()
+        injector = bound(system, FaultSpec("hybrid.migration_stall"))
+        assert injector.devices  # found the tiered DIMMs behind the buffer
+        assert injector.inject(0) == "injected"
+        assert all(d.migration_frozen for d in injector.devices)
+        assert injector.recover(0) == "recovered"
+        assert not any(d.migration_frozen for d in injector.devices)
+
+    def test_system_without_tiered_devices_skips(self):
+        system = build()  # homogeneous DRAM card
+        injector = bound(system, FaultSpec("hybrid.migration_stall"))
+        assert injector.inject(0) == "skipped"

@@ -1,0 +1,98 @@
+"""The tier_replay trial workload and its knob-pairing rules.
+
+``tier.*`` knobs drive the tiered hybrid-memory card only, so the spec
+layer must reject them on every other workload (and reject foreign
+knobs on ``tier_replay``) — a mismatched knob would silently tune
+nothing.  The shipped ``tunespecs/tiering.json`` is loaded and walked so
+the example cannot rot.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tune import TuneSpec
+from repro.tune.space import check_workload_knobs
+from repro.tune.trial import run_tune_trial
+
+TIERING_SPEC = Path(__file__).resolve().parents[2] / "tunespecs" / "tiering.json"
+
+
+class TestKnobPairing:
+    def test_tier_knobs_pair_with_tier_replay(self):
+        check_workload_knobs("tier_replay", ["tier.policy",
+                                             "tier.fast_fraction"])
+
+    @pytest.mark.parametrize("workload", ["mem_read", "mem_write"])
+    def test_tier_knobs_rejected_on_memory_workloads(self, workload):
+        with pytest.raises(ConfigurationError, match="tier.policy"):
+            check_workload_knobs(workload, ["tier.policy"])
+
+    def test_tier_knobs_rejected_on_gpfs_write(self):
+        with pytest.raises(ConfigurationError, match="no effect"):
+            check_workload_knobs("gpfs_write", ["tier.promote_threshold"])
+
+    def test_foreign_knobs_rejected_on_tier_replay(self):
+        with pytest.raises(ConfigurationError, match="no effect"):
+            check_workload_knobs("tier_replay", ["wcache.segments"])
+        with pytest.raises(ConfigurationError, match="no effect"):
+            check_workload_knobs("tier_replay", ["dmi.num_tags"])
+
+    def test_spec_load_applies_the_pairing(self):
+        with pytest.raises(ConfigurationError):
+            TuneSpec.from_dict({
+                "name": "bad",
+                "workload": "mem_read",
+                "space": {"tier.policy": ["static", "clock"]},
+                "objectives": ["min:p99_ns"],
+                "budget": {"base_samples": 4, "rungs": 1, "eta": 2},
+            })
+
+
+class TestTierTrial:
+    def _metrics(self, config, samples=16, seed=0):
+        table = run_tune_trial(
+            config=json.dumps(config, sort_keys=True,
+                              separators=(",", ":")),
+            workload="tier_replay", samples=samples, depth=4, seed=seed,
+        )
+        return dict(zip(
+            (row[0] for row in table.rows),
+            (row[1] for row in table.rows),
+        ))
+
+    def test_trial_reports_the_objective_metrics(self):
+        metrics = self._metrics({"tier.policy": "clock"})
+        for name in ("p99_ns", "p50_ns", "mean_ns", "throughput_ops_s",
+                     "occupancy"):
+            assert name in metrics, name
+            assert metrics[name] > 0
+        assert metrics["errors"] == 0
+        assert metrics["samples"] == 16
+
+    def test_common_random_numbers_make_trials_comparable(self):
+        a = self._metrics({"tier.policy": "static"})
+        b = self._metrics({"tier.policy": "static"})
+        assert a == b
+
+    def test_policy_knob_changes_the_measurement(self):
+        static = self._metrics({"tier.policy": "static"}, samples=48)
+        clock = self._metrics({"tier.policy": "clock"}, samples=48)
+        assert static != clock
+
+    def test_bad_policy_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._metrics({"tier.policy": "lru"})
+
+
+class TestShippedTieringSpec:
+    def test_example_spec_loads_and_spans_the_tier_knobs(self):
+        spec = TuneSpec.from_dict(json.loads(TIERING_SPEC.read_text()))
+        assert spec.workload == "tier_replay"
+        names = {name for name, _ in spec.space}
+        assert all(name.startswith("tier.") for name in names)
+        assert {"tier.policy", "tier.fast_fraction"} <= names
+        # every grid point is a valid trial config
+        assert len(spec.grid()) > 1

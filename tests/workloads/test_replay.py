@@ -1,0 +1,93 @@
+"""Replay-workload determinism and generator shape.
+
+Determinism is the acceptance gate for the hybrid campaign artifacts:
+``generate`` must be a pure function of (workload, spec, seed) and
+``trace_bytes`` its canonical encoding — same seed, same bytes, on any
+host at any worker count.  Seeds are also prefix-stable in
+``num_accesses`` so a tuner rung promotion *extends* a config's rung-0
+stream instead of redrawing it.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import derive_seed
+from repro.units import CACHE_LINE_BYTES
+from repro.workloads.replay import (
+    GRAPH_BURST_LINES,
+    KV_WRITE_FRACTION,
+    REPLAY_WORKLOADS,
+    generate,
+    replay,
+    replay_depth,
+    trace_bytes,
+)
+from repro.workloads.trace import TraceSpec
+
+SPEC = TraceSpec(base=1 << 20, size_bytes=256 * 1024, num_accesses=200)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workload", sorted(REPLAY_WORKLOADS))
+    def test_same_seed_same_bytes(self, workload):
+        a = trace_bytes(workload, SPEC, seed=7)
+        b = trace_bytes(workload, SPEC, seed=7)
+        assert a == b
+
+    @pytest.mark.parametrize("workload", sorted(REPLAY_WORKLOADS))
+    def test_different_seed_different_trace(self, workload):
+        assert trace_bytes(workload, SPEC, 1) != trace_bytes(workload, SPEC, 2)
+
+    def test_kv_stream_is_prefix_stable_in_num_accesses(self):
+        short = TraceSpec(base=SPEC.base, size_bytes=SPEC.size_bytes,
+                          num_accesses=50)
+        seed = derive_seed(3, "trial")
+        assert generate("kv", SPEC, seed)[:50] == generate("kv", short, seed)
+
+    def test_trace_bytes_is_ascii_json_with_identity(self):
+        blob = trace_bytes("graph", SPEC, seed=9)
+        assert blob == blob.decode("ascii").encode("ascii")
+        assert b'"seed":9' in blob and b'"workload":"graph"' in blob
+
+
+class TestGeneratorShape:
+    def test_graph_is_read_only_bursts_within_span(self):
+        ops = generate("graph", SPEC, seed=0)
+        assert len(ops) == SPEC.num_accesses
+        assert all(op == "read" for op, _ in ops)
+        lo, hi = SPEC.base, SPEC.base + SPEC.size_bytes
+        assert all(lo <= addr < hi and addr % CACHE_LINE_BYTES == 0
+                   for _, addr in ops)
+        # bursts are sequential: many consecutive-line steps
+        steps = [b - a for (_, a), (_, b) in zip(ops, ops[1:])]
+        assert steps.count(CACHE_LINE_BYTES) > len(ops) // GRAPH_BURST_LINES
+
+    def test_kv_mixes_reads_and_writes_around_the_set_fraction(self):
+        ops = generate("kv", SPEC, seed=0)
+        writes = sum(1 for op, _ in ops if op == "write")
+        assert 0.5 * KV_WRITE_FRACTION < writes / len(ops) \
+            < 1.5 * KV_WRITE_FRACTION
+
+    def test_kv_popularity_is_skewed(self):
+        ops = generate("kv", SPEC, seed=0)
+        pages = [addr // 4096 for _, addr in ops]
+        top = max(pages.count(p) for p in set(pages))
+        assert top > len(ops) / len(set(pages))  # far from uniform
+
+    def test_pointer_is_a_serial_cycle(self):
+        ops = generate("pointer", SPEC, seed=0)
+        assert all(op == "read" for op, _ in ops)
+        assert replay_depth("pointer", 8) == 1
+        assert replay_depth("kv", 8) == 8
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate("stream", SPEC, seed=0)
+
+
+class TestReplayEngine:
+    def test_depth_and_ops_validated(self):
+        with pytest.raises(ConfigurationError):
+            replay(None, [("read", 0)], depth=0)
+        with pytest.raises(ConfigurationError):
+            replay(None, [], depth=4)

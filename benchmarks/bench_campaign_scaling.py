@@ -105,12 +105,25 @@ def run_scaling(artifact_path: str = ARTIFACT) -> dict:
     return record
 
 
+#: absolute ceiling on the fio[ios=8] job (seconds).  The table-driven
+#: scrambling/CRC + tuple-heap rewrite runs it in ~1.0 s; 3.0 s is ~3x
+#: headroom for slow CI machines while still catching any reintroduction
+#: of per-bit/per-byte Python on the frame path (which costs 5x+).
+FIO_CEILING_S = 3.0
+
+
 def test_campaign_scaling(tmp_path):
     """Pytest entry: artifact is coherent and the cache path dominates."""
     record = run_scaling(str(tmp_path / "BENCH_campaign.json"))
     assert record["jobs"] >= 7
     # the content-addressed cache must beat re-simulating by a wide margin
     assert record["speedup_cached"] > 5
+    # the kernel fast-path regression gate (see docs/kernel.md)
+    fio_s = record["per_job_s"]["fio[ios=8]#s0"]
+    assert fio_s < FIO_CEILING_S, (
+        f"fio[ios=8] took {fio_s:.2f}s (ceiling {FIO_CEILING_S}s): "
+        "the DMI/kernel hot path has regressed"
+    )
     # parallel never loses badly: on one core it degenerates to ~serial
     # (pool overhead only); with real cores it must actually win
     if record["cpu_count"] >= 2:

@@ -51,6 +51,10 @@ class BufferCache:
         self._sets: List["OrderedDict[int, _Line]"] = [
             OrderedDict() for _ in range(self.num_sets)
         ]
+        #: resident line count, maintained incrementally — the occupancy
+        #: sampler reads it every period, and walking thousands of sets
+        #: per sample dominated sampling cost
+        self.lines_held = 0
         # Stats
         self.hits = 0
         self.misses = 0
@@ -99,15 +103,18 @@ class BufferCache:
         set_no, tag = self._index(addr)
         assoc_set = self._sets[set_no]
         victim = None
-        if tag not in assoc_set and len(assoc_set) >= self.ways:
-            victim_tag, victim_line = assoc_set.popitem(last=False)
-            self._prefetched_tags.discard((set_no, victim_tag))
-            if victim_line.dirty:
-                self.writebacks += 1
-                trace = probe.session
-                if trace is not None:
-                    trace.count("buffer.cache.writebacks")
-                victim = (self._line_addr(set_no, victim_tag), victim_line.data)
+        if tag not in assoc_set:
+            if len(assoc_set) >= self.ways:
+                victim_tag, victim_line = assoc_set.popitem(last=False)
+                self._prefetched_tags.discard((set_no, victim_tag))
+                if victim_line.dirty:
+                    self.writebacks += 1
+                    trace = probe.session
+                    if trace is not None:
+                        trace.count("buffer.cache.writebacks")
+                    victim = (self._line_addr(set_no, victim_tag), victim_line.data)
+            else:
+                self.lines_held += 1
         assoc_set[tag] = _Line(data, dirty)
         assoc_set.move_to_end(tag)
         return victim

@@ -25,8 +25,9 @@ replay is ready, exactly the "cheat" of Section 3.3.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from ..errors import ProtocolError, ReplayError
 from ..sim import Signal, Simulator
@@ -44,7 +45,6 @@ from .frames import (
     Frame,
     TrainingFrame,
     UpstreamFrame,
-    frame_kind,
     next_seq,
     seq_distance,
 )
@@ -98,6 +98,10 @@ class FrameEndpoint:
         self.name = name
         self.tx_link = tx_link
         self.frame_in_cls = frame_in_cls
+        # we *receive* frame_in_cls frames, so we transmit the other kind
+        self._frame_out_cls = (
+            DownstreamFrame if frame_in_cls is UpstreamFrame else UpstreamFrame
+        )
         self.config = config
         self.on_payload = on_payload
         self.on_fail = on_fail
@@ -106,7 +110,8 @@ class FrameEndpoint:
         self._next_tx_seq = 0
         self._last_tx_frame: Optional[Frame] = None
         self._last_accepted: Optional[int] = None
-        self._tx_queue: List[dict] = []
+        # popped from the front on every pump: a deque keeps that O(1)
+        self._tx_queue: Deque[dict] = deque()
         self._replay = ReplayBuffer(config.replay_depth)
         self._ack_check_scheduled = False
         self._idle_ack_scheduled = False
@@ -147,17 +152,13 @@ class FrameEndpoint:
         self.sim.call_after(self.config.tx_overhead_ps, self._pump)
 
     def _build_frame(self, seq: int, fields: dict) -> Frame:
-        ack = self._last_accepted
-        if self.frame_in_cls is UpstreamFrame:
-            # we *receive* upstream frames, so we transmit downstream ones
-            return DownstreamFrame(seq, ack, **fields)
-        return UpstreamFrame(seq, ack, **fields)
+        return self._frame_out_cls(seq, self._last_accepted, **fields)
 
     def _pump(self) -> None:
         if self.failed or self._replay_in_progress:
             return
         while self._tx_queue and not self._replay.is_full:
-            fields = self._tx_queue.pop(0)
+            fields = self._tx_queue.popleft()
             seq = self._next_tx_seq
             self._next_tx_seq = next_seq(seq)
             frame = self._build_frame(seq, fields)
@@ -335,7 +336,7 @@ class FrameEndpoint:
     def _process_rx(self, raw: bytes) -> None:
         if self.failed:
             return
-        if frame_kind(raw) == TrainingFrame.KIND:
+        if raw and raw[0] == TrainingFrame.KIND:
             self._handle_training(raw)
             return
         try:
@@ -421,11 +422,7 @@ class FrameEndpoint:
             seq = (oldest[0] - 1) % SEQ_MOD
         else:
             seq = (self._next_tx_seq - 1) % SEQ_MOD
-        if self.frame_in_cls is UpstreamFrame:
-            idle: Frame = DownstreamFrame(seq, self._last_accepted)
-        else:
-            idle = UpstreamFrame(seq, self._last_accepted)
-        self.tx_link.send(idle.pack())
+        self.tx_link.send(self._frame_out_cls(seq, self._last_accepted).pack())
 
 
 # ---------------------------------------------------------------------------

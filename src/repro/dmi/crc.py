@@ -35,11 +35,31 @@ def _build_table() -> List[int]:
 _TABLE = _build_table()
 
 
+def _advance16(crc: int) -> int:
+    """Advance the CRC register by 16 zero bits (two byte-table steps)."""
+    table = _TABLE
+    crc = ((crc << 8) & 0xFFFF) ^ table[crc >> 8]
+    return ((crc << 8) & 0xFFFF) ^ table[crc >> 8]
+
+
+# Pair tables: one byte-table step is ``step(crc, b) == advance8(crc ^ (b << 8))``
+# (the incoming byte XORs into the top of the register before it shifts out),
+# so two steps collapse to ``advance16(crc ^ (b0 << 8) ^ b1)`` and advance16
+# splits per register byte because it is GF(2)-linear.  Frames are checked on
+# every wire transfer, so crc16 consumes two message bytes per loop iteration.
+_PAIR_HI = tuple(_advance16(v << 8) for v in range(256))
+_PAIR_LO = tuple(_advance16(v) for v in range(256))
+
+
 def crc16(data: bytes, init: int = CRC16_INIT) -> int:
     """CRC-16/CCITT-FALSE over ``data``."""
     crc = init
-    for byte in data:
-        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    hi, lo = _PAIR_HI, _PAIR_LO  # local bindings: this runs twice per frame
+    for i in range(0, len(data) - 1, 2):
+        x = crc ^ (data[i] << 8) ^ data[i + 1]
+        crc = hi[x >> 8] ^ lo[x & 0xFF]
+    if len(data) & 1:
+        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ data[-1]) & 0xFF]
     return crc
 
 
@@ -70,6 +90,5 @@ def check_crc(framed: bytes) -> bool:
     """
     if len(framed) < 2:
         return False
-    body, trailer = framed[:-2], framed[-2:]
-    expect = crc16(body)
-    return trailer == bytes([(expect >> 8) & 0xFF, expect & 0xFF])
+    expect = crc16(framed[:-2])
+    return framed[-2] == (expect >> 8) & 0xFF and framed[-1] == expect & 0xFF

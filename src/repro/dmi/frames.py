@@ -19,16 +19,20 @@ received frame, a CRC-16, and a payload:
 The logical packed encoding used for CRC/scrambling/error-injection is a few
 bytes larger than the physical frame (we keep field encodings byte-aligned
 for auditability); the *timing* model always uses the physical wire size.
+
+Every frame crossing the wire is packed once and unpacked once, so the
+classes here sit on the simulator's hot path: they use ``__slots__``, pack
+through a single ``b"".join``, and unpack by index instead of peeling
+slices (see ``docs/kernel.md``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..errors import ProtocolError
 from .commands import Opcode
-from .crc import append_crc, check_crc
+from .crc import append_crc, check_crc, crc16
 
 SEQ_MOD = 64               # 6-bit frame sequence ID space
 NO_ACK = 0xFF              # ack byte value meaning "no ACK in this frame"
@@ -47,13 +51,15 @@ _OPCODE_CODES = {op: i for i, op in enumerate(Opcode)}
 _CODE_OPCODES = {i: op for op, i in _OPCODE_CODES.items()}
 
 
-@dataclass
 class CommandHeader:
     """Command portion of a downstream frame."""
 
-    opcode: Opcode
-    tag: int
-    address: int
+    __slots__ = ("opcode", "tag", "address")
+
+    def __init__(self, opcode: Opcode, tag: int, address: int):
+        self.opcode = opcode
+        self.tag = tag
+        self.address = address
 
     def pack(self) -> bytes:
         if not 0 <= self.address < (1 << 48):
@@ -69,14 +75,31 @@ class CommandHeader:
             raise ProtocolError(f"unknown opcode code {code}")
         return cls(_CODE_OPCODES[code], raw[1], int.from_bytes(raw[2:8], "big"))
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CommandHeader):
+            return NotImplemented
+        return (
+            self.opcode is other.opcode
+            and self.tag == other.tag
+            and self.address == other.address
+        )
 
-@dataclass
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CommandHeader(opcode={self.opcode!r}, tag={self.tag!r}, "
+            f"address={self.address!r})"
+        )
+
+
 class DataChunk:
     """A slice of cache-line data in flight, identified by (tag, offset)."""
 
-    tag: int
-    offset: int          # byte offset within the 128B line
-    data: bytes
+    __slots__ = ("tag", "offset", "data")
+
+    def __init__(self, tag: int, offset: int, data: bytes):
+        self.tag = tag
+        self.offset = offset          # byte offset within the 128B line
+        self.data = data
 
     def pack(self) -> bytes:
         if len(self.data) > 255:
@@ -84,27 +107,58 @@ class DataChunk:
         return bytes([self.tag, self.offset, len(self.data)]) + self.data
 
     @classmethod
-    def unpack(cls, raw: bytes) -> Tuple["DataChunk", bytes]:
-        if len(raw) < 3:
+    def _parse(cls, buf: bytes, pos: int) -> Tuple["DataChunk", int]:
+        """Decode one chunk at ``buf[pos:]``; returns (chunk, next position)."""
+        if len(buf) < pos + 3:
             raise ProtocolError("truncated data chunk")
-        tag, offset, length = raw[0], raw[1], raw[2]
-        if len(raw) < 3 + length:
+        length = buf[pos + 2]
+        end = pos + 3 + length
+        if len(buf) < end:
             raise ProtocolError("truncated data chunk payload")
-        return cls(tag, offset, raw[3 : 3 + length]), raw[3 + length :]
+        return cls(buf[pos], buf[pos + 1], buf[pos + 3 : end]), end
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> Tuple["DataChunk", bytes]:
+        chunk, end = cls._parse(raw, 0)
+        return chunk, raw[end:]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataChunk):
+            return NotImplemented
+        return (
+            self.tag == other.tag
+            and self.offset == other.offset
+            and self.data == other.data
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataChunk(tag={self.tag!r}, offset={self.offset!r}, data={self.data!r})"
 
 
-@dataclass
 class DoneNotice:
     """Command-completion notification carried upstream."""
 
-    tag: int
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: int):
+        self.tag = tag
 
     def pack(self) -> bytes:
         return bytes([self.tag])
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DoneNotice):
+            return NotImplemented
+        return self.tag == other.tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DoneNotice(tag={self.tag!r})"
+
 
 class Frame:
     """Common behaviour of downstream and upstream frames."""
+
+    __slots__ = ("seq_id", "ack_seq")
 
     wire_bytes: int = 0
     direction: str = ""
@@ -129,8 +183,23 @@ class Frame:
         return f"<{type(self).__name__} seq={self.seq_id}{ack}>"
 
 
+def _check_framed(framed: bytes, kind: int, what: str) -> bytes:
+    """CRC-check a packed frame in one pass; returns the body (CRC stripped)."""
+    raw = framed[:-2]
+    if len(framed) < 2:
+        raise ProtocolError(f"{what} failed CRC")
+    expect = crc16(raw)
+    if framed[-2] != expect >> 8 or framed[-1] != expect & 0xFF:
+        raise ProtocolError(f"{what} failed CRC")
+    if len(raw) < 4 or raw[0] != kind:
+        raise ProtocolError(f"not a {what}")
+    return raw
+
+
 class DownstreamFrame(Frame):
     """Processor -> buffer frame: optional command + optional write-data chunk."""
+
+    __slots__ = ("command", "chunk")
 
     KIND = 0xD0
     wire_bytes = DOWN_WIRE_BYTES
@@ -156,38 +225,38 @@ class DownstreamFrame(Frame):
         return self.command is None and self.chunk is None
 
     def pack(self) -> bytes:
-        flags = (1 if self.command else 0) | (2 if self.chunk else 0)
-        body = self._pack_header(self.KIND) + bytes([flags])
-        if self.command:
-            body += self.command.pack()
-        if self.chunk:
-            body += self.chunk.pack()
-        return append_crc(body)
+        command, chunk = self.command, self.chunk
+        ack = NO_ACK if self.ack_seq is None else self.ack_seq
+        flags = (1 if command else 0) | (2 if chunk else 0)
+        parts = [bytes((self.KIND, self.seq_id, ack, flags))]
+        if command:
+            parts.append(command.pack())
+        if chunk:
+            parts.append(chunk.pack())
+        return append_crc(b"".join(parts))
 
     @classmethod
     def unpack(cls, framed: bytes) -> "DownstreamFrame":
-        if not check_crc(framed):
-            raise ProtocolError("downstream frame failed CRC")
-        raw = framed[:-2]
-        if len(raw) < 4 or raw[0] != cls.KIND:
-            raise ProtocolError("not a downstream frame")
-        seq_id, ack_byte, flags = raw[1], raw[2], raw[3]
-        ack = None if ack_byte == NO_ACK else ack_byte
-        rest = raw[4:]
+        raw = _check_framed(framed, cls.KIND, "downstream frame")
+        flags = raw[3]
+        ack_byte = raw[2]
+        pos = 4
         command = None
         if flags & 1:
-            command = CommandHeader.unpack(rest[:8])
-            rest = rest[8:]
+            command = CommandHeader.unpack(raw[4:12])
+            pos = 12
         chunk = None
         if flags & 2:
-            chunk, rest = DataChunk.unpack(rest)
-        if rest:
+            chunk, pos = DataChunk._parse(raw, pos)
+        if pos != len(raw):
             raise ProtocolError("trailing bytes in downstream frame")
-        return cls(seq_id, ack, command, chunk)
+        return cls(raw[1], None if ack_byte == NO_ACK else ack_byte, command, chunk)
 
 
 class UpstreamFrame(Frame):
     """Buffer -> processor frame: up to two dones + optional read-data chunk."""
+
+    __slots__ = ("dones", "chunk")
 
     KIND = 0xD1
     wire_bytes = UP_WIRE_BYTES
@@ -215,36 +284,32 @@ class UpstreamFrame(Frame):
         return not self.dones and self.chunk is None
 
     def pack(self) -> bytes:
-        body = self._pack_header(self.KIND) + bytes([len(self.dones)])
-        for done in self.dones:
-            body += done.pack()
-        body += bytes([1 if self.chunk else 0])
-        if self.chunk:
-            body += self.chunk.pack()
+        dones, chunk = self.dones, self.chunk
+        ack = NO_ACK if self.ack_seq is None else self.ack_seq
+        head = bytearray((self.KIND, self.seq_id, ack, len(dones)))
+        for done in dones:
+            head.append(done.tag)
+        head.append(1 if chunk else 0)
+        body = bytes(head) + chunk.pack() if chunk else bytes(head)
         return append_crc(body)
 
     @classmethod
     def unpack(cls, framed: bytes) -> "UpstreamFrame":
-        if not check_crc(framed):
-            raise ProtocolError("upstream frame failed CRC")
-        raw = framed[:-2]
-        if len(raw) < 4 or raw[0] != cls.KIND:
-            raise ProtocolError("not an upstream frame")
-        seq_id, ack_byte, n_dones = raw[1], raw[2], raw[3]
-        ack = None if ack_byte == NO_ACK else ack_byte
-        rest = raw[4:]
-        if len(rest) < n_dones + 1:
+        raw = _check_framed(framed, cls.KIND, "upstream frame")
+        ack_byte = raw[2]
+        n_dones = raw[3]
+        if len(raw) < 4 + n_dones + 1:
             raise ProtocolError("truncated upstream frame")
-        dones = [DoneNotice(rest[i]) for i in range(n_dones)]
-        rest = rest[n_dones:]
-        has_chunk = rest[0]
-        rest = rest[1:]
+        dones = [DoneNotice(raw[4 + i]) for i in range(n_dones)]
+        pos = 4 + n_dones
+        has_chunk = raw[pos]
+        pos += 1
         chunk = None
         if has_chunk:
-            chunk, rest = DataChunk.unpack(rest)
-        if rest:
+            chunk, pos = DataChunk._parse(raw, pos)
+        if pos != len(raw):
             raise ProtocolError("trailing bytes in upstream frame")
-        return cls(seq_id, ack, dones, chunk)
+        return cls(raw[1], None if ack_byte == NO_ACK else ack_byte, dones, chunk)
 
 
 class TrainingFrame(Frame):
@@ -255,6 +320,8 @@ class TrainingFrame(Frame):
     (Section 2.3).  Training frames sit outside the sequence/ACK machinery:
     they carry a signature ID instead of participating in replay.
     """
+
+    __slots__ = ("signature", "echoed")
 
     KIND = 0xD2
     wire_bytes = DOWN_WIRE_BYTES  # same 16 UI cadence in either direction

@@ -21,8 +21,9 @@ The link delivers raw packed bytes; framing and protocol live in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Deque, Optional
 
 from ..errors import ConfigurationError
 from ..sim import ClockDomain, Rng, Simulator
@@ -47,6 +48,11 @@ class LinkErrorModel:
     force_drops: int = 0
 
     def corrupt(self, data: bytes, rng: Rng) -> bytes:
+        if self.force_drops == 0 and self.frame_error_rate == 0.0:
+            # Clean-run fast path: no RNG consultation per frame.  Rng.chance
+            # draws nothing for p=0 either, so stream state is unaffected —
+            # this only skips the call overhead on every clean frame.
+            return data
         if self.force_drops > 0:
             self.force_drops -= 1
             out = bytearray(data)
@@ -93,7 +99,24 @@ class SerialLink:
         self.rng = rng or Rng(0, name)
         self._tx_scrambler = BundleScrambler(num_lanes)
         self._rx_scrambler = BundleScrambler(num_lanes)
+        # Delivery is ordered and lossless (corruption flips bits, it never
+        # drops frames), so the receive descrambler stays in lockstep with
+        # the transmitter: the keystream the receiver will generate for a
+        # frame is exactly the keystream it was scrambled with.  The link
+        # therefore carries each in-flight frame's keystream in a FIFO and
+        # descrambles with one big-int XOR instead of running the receive
+        # LFSRs a second time.  The one case where lockstep breaks — a
+        # resync with frames still in flight — switches the receiver to a
+        # live LFSR (see resync()), reproducing the real desync garbage.
+        self._key_fifo: Deque[int] = deque()
+        self._rx_live = False
+        # ClockDomain periods are fixed at construction, so the per-frame
+        # wire time is a constant — cached because the send path and the
+        # ACK-timeout math read it for every frame.
+        self._frame_wire_ps = FRAME_UI * link_clock.period_ps
         self._next_free_ps = 0
+        #: span label, formatted once — send() traces every frame
+        self._trace_label = f"frame:{name}"
         self._deliver: Optional[Callable[[bytes], None]] = None
         # Stats
         self.frames_sent = 0
@@ -118,7 +141,7 @@ class SerialLink:
     @property
     def frame_wire_ps(self) -> int:
         """Serialization time of one frame: 16 UI at the link rate."""
-        return FRAME_UI * self.link_clock.period_ps
+        return self._frame_wire_ps
 
     @property
     def latency_ps(self) -> int:
@@ -130,6 +153,15 @@ class SerialLink:
         """Reset scrambler state on both ends (start of link training)."""
         self._tx_scrambler.resync()
         self._rx_scrambler.resync()
+        if self._key_fifo:
+            # Frames are in flight across the resync: the freshly reset
+            # receive scrambler is no longer in lockstep with the keystream
+            # those frames were scrambled with.  From here on run the
+            # receive descrambler as a live state machine so the in-flight
+            # frames garble exactly as they would on real hardware (and the
+            # link stays desynced until the next clean resync).
+            self._key_fifo.clear()
+            self._rx_live = True
 
     # -- transfer ------------------------------------------------------------
 
@@ -142,24 +174,53 @@ class SerialLink:
         """
         if self._deliver is None:
             raise ConfigurationError(f"link {self.name!r} has no receiver connected")
+        wire_ps = self._frame_wire_ps
         start = max(self.sim.now_ps, self._next_free_ps)
-        self._next_free_ps = start + self.frame_wire_ps
-        self.busy_ps += self.frame_wire_ps
+        self._next_free_ps = start + wire_ps
+        self.busy_ps += wire_ps
 
-        wire = self._tx_scrambler.process(packed)
-        wire = self.error_model.corrupt(wire, self.rng)
-        arrival = start + self.frame_wire_ps + self.latency_ps
+        em = self.error_model
+        if (
+            em.force_drops == 0
+            and em.frame_error_rate == 0.0
+            and not self._rx_live
+        ):
+            # Clean frame: corruption is additive, so scramble-then-
+            # descramble cancels exactly and the keystream bytes are never
+            # observed — advance the lane LFSRs (state must stay real for
+            # any later resync or fault injection) but skip materializing
+            # and XORing the keystream twice.  Key 0 keeps the FIFO aligned
+            # and makes _arrive's XOR a no-op.
+            self._tx_scrambler.skip_frame(len(packed))
+            wire = packed
+            self._key_fifo.append(0)
+        else:
+            n = len(packed)
+            key = int.from_bytes(self._tx_scrambler.keystream_frame(n), "little")
+            wire = (int.from_bytes(packed, "little") ^ key).to_bytes(n, "little")
+            wire = em.corrupt(wire, self.rng)
+            if not self._rx_live:
+                self._key_fifo.append(key)
+        arrival = start + wire_ps + self.latency_ps
         self.frames_sent += 1
         trace = probe.session
         if trace is not None:
             # serialization start through delivery: the whole wire transit
-            trace.complete("dmi", f"frame:{self.name}", start, arrival)
+            trace.complete("dmi", self._trace_label, start, arrival)
             trace.count("dmi.frames_sent")
         self.sim.call_at(arrival, self._arrive, wire, packed)
         return arrival
 
     def _arrive(self, wire: bytes, original: bytes) -> None:
-        received = self._rx_scrambler.process(wire)
+        if self._rx_live:
+            received = self._rx_scrambler.process(wire)
+        else:
+            key = self._key_fifo.popleft()
+            if key:
+                n = len(wire)
+                received = (int.from_bytes(wire, "little") ^ key).to_bytes(n, "little")
+            else:
+                received = wire
         if received != original:
             self.frames_corrupted += 1
             trace = probe.session

@@ -12,18 +12,28 @@ Design notes
   stochastic takes an explicit :class:`repro.sim.rng.Rng`.
 * Processes are plain generators (see :mod:`repro.sim.process`); the kernel
   only knows about scheduled callbacks, keeping the core small and auditable.
+* Heap entries are ``(time_ps, seq, call)`` tuples: ``heapq`` sifts compare
+  C integers instead of calling :meth:`ScheduledCall.__lt__` per swap, and
+  ``seq`` is unique so the call object itself is never compared.  A live
+  (not-yet-cancelled) event counter is maintained O(1) across scheduling,
+  cancellation, and dispatch so :attr:`pending_events` never scans the heap.
+  See ``docs/kernel.md`` for the hot-path design rules.
 """
 
 from __future__ import annotations
 
 import heapq
 from time import perf_counter
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..telemetry import probe
 from . import profile as _profile
 from .event import ScheduledCall, Signal
+
+#: default runaway-loop guard: exactly this many events may execute before
+#: a dispatch loop raises :class:`SimulationError`
+DEFAULT_MAX_EVENTS = 50_000_000
 
 
 class Simulator:
@@ -32,7 +42,8 @@ class Simulator:
     def __init__(self) -> None:
         self._now_ps = 0
         self._seq = 0
-        self._queue: List[ScheduledCall] = []
+        self._queue: List[Tuple[int, int, ScheduledCall]] = []
+        self._live_events = 0
         self._running = False
 
     # -- time ----------------------------------------------------------
@@ -55,16 +66,26 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {time_ps} < now {self._now_ps}"
             )
-        call = ScheduledCall(time_ps, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, call)
+        seq = self._seq
+        self._seq = seq + 1
+        call = ScheduledCall(time_ps, seq, fn, args, self)
+        self._live_events += 1
+        heapq.heappush(self._queue, (time_ps, seq, call))
         return call
 
     def call_after(self, delay_ps: int, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
         """Schedule ``fn(*args)`` ``delay_ps`` picoseconds from now."""
         if delay_ps < 0:
             raise SimulationError(f"negative delay: {delay_ps}")
-        return self.call_at(self._now_ps + delay_ps, fn, *args)
+        # Inlined call_at (minus the cannot-happen past check): this is the
+        # kernel's most-called scheduling entry point.
+        time_ps = self._now_ps + delay_ps
+        seq = self._seq
+        self._seq = seq + 1
+        call = ScheduledCall(time_ps, seq, fn, args, self)
+        self._live_events += 1
+        heapq.heappush(self._queue, (time_ps, seq, call))
+        return call
 
     def trigger_after(self, delay_ps: int, signal: Signal, value: Any = None) -> ScheduledCall:
         """Trigger ``signal`` with ``value`` after ``delay_ps``."""
@@ -74,10 +95,13 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the single next event.  Returns ``False`` if the queue is empty."""
-        while self._queue:
-            call = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            call = heapq.heappop(queue)[2]
             if call.cancelled:
                 continue
+            call._sim = None
+            self._live_events -= 1
             self._now_ps = call.time_ps
             call.fn(*call.args)
             return True
@@ -85,10 +109,13 @@ class Simulator:
 
     def _step_traced(self, trace) -> bool:
         """step() emitting one instant per event (kernel_events sessions)."""
-        while self._queue:
-            call = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            call = heapq.heappop(queue)[2]
             if call.cancelled:
                 continue
+            call._sim = None
+            self._live_events -= 1
             self._now_ps = call.time_ps
             trace.instant(
                 "kernel", getattr(call.fn, "__qualname__", "event"), call.time_ps
@@ -99,10 +126,13 @@ class Simulator:
 
     def _step_profiled(self, prof, trace, trace_events) -> bool:
         """step() timing each event into the installed kernel profiler."""
-        while self._queue:
-            call = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            call = heapq.heappop(queue)[2]
             if call.cancelled:
                 continue
+            call._sim = None
+            self._live_events -= 1
             self._now_ps = call.time_ps
             if trace_events:
                 trace.instant(
@@ -115,11 +145,12 @@ class Simulator:
             return True
         return False
 
-    def run(self, until_ps: Optional[int] = None, max_events: int = 50_000_000) -> int:
+    def run(self, until_ps: Optional[int] = None, max_events: int = DEFAULT_MAX_EVENTS) -> int:
         """Run events until the queue drains or simulated time passes ``until_ps``.
 
         Returns the number of events executed.  ``max_events`` guards against
-        runaway self-rescheduling loops in model bugs.
+        runaway self-rescheduling loops in model bugs: exactly ``max_events``
+        events may execute; the error raises when one more is due.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
@@ -134,32 +165,35 @@ class Simulator:
         trace_events = trace is not None and trace.kernel_events
         prof = _profile.active
         start_ps = self._now_ps
+        queue = self._queue
         try:
             if prof is not None:
                 executed = self._run_profiled(
                     until_ps, max_events, trace, trace_events, prof
                 )
             else:
-                while self._queue:
-                    head = self._queue[0]
-                    if head.cancelled:
-                        heapq.heappop(self._queue)
+                while queue:
+                    time_ps, _, call = queue[0]
+                    if call.cancelled:
+                        heapq.heappop(queue)
                         continue
-                    if until_ps is not None and head.time_ps > until_ps:
+                    if until_ps is not None and time_ps > until_ps:
                         break
-                    heapq.heappop(self._queue)
-                    self._now_ps = head.time_ps
-                    if trace_events:
-                        trace.instant(
-                            "kernel", getattr(head.fn, "__qualname__", "event"),
-                            head.time_ps,
-                        )
-                    head.fn(*head.args)
-                    executed += 1
-                    if executed > max_events:
+                    if executed >= max_events:
                         raise SimulationError(
                             f"exceeded max_events={max_events}; likely a scheduling loop"
                         )
+                    heapq.heappop(queue)
+                    call._sim = None
+                    self._live_events -= 1
+                    self._now_ps = time_ps
+                    if trace_events:
+                        trace.instant(
+                            "kernel", getattr(call.fn, "__qualname__", "event"),
+                            time_ps,
+                        )
+                    call.fn(*call.args)
+                    executed += 1
         finally:
             self._running = False
         if until_ps is not None and self._now_ps < until_ps:
@@ -181,35 +215,45 @@ class Simulator:
         """
         executed = 0
         prof.runs += 1
-        while self._queue:
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time_ps, _, call = queue[0]
+            if call.cancelled:
+                heapq.heappop(queue)
                 continue
-            if until_ps is not None and head.time_ps > until_ps:
+            if until_ps is not None and time_ps > until_ps:
                 break
-            heapq.heappop(self._queue)
-            self._now_ps = head.time_ps
-            if trace_events:
-                trace.instant(
-                    "kernel", getattr(head.fn, "__qualname__", "event"),
-                    head.time_ps,
-                )
-            t0 = perf_counter()
-            head.fn(*head.args)
-            prof.record(_profile.event_key(head.fn), perf_counter() - t0)
-            executed += 1
-            if executed > max_events:
+            if executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely a scheduling loop"
                 )
+            heapq.heappop(queue)
+            call._sim = None
+            self._live_events -= 1
+            self._now_ps = time_ps
+            if trace_events:
+                trace.instant(
+                    "kernel", getattr(call.fn, "__qualname__", "event"),
+                    time_ps,
+                )
+            t0 = perf_counter()
+            call.fn(*call.args)
+            prof.record(_profile.event_key(call.fn), perf_counter() - t0)
+            executed += 1
         return executed
 
-    def run_until_signal(self, signal: Signal, timeout_ps: Optional[int] = None) -> Any:
+    def run_until_signal(
+        self,
+        signal: Signal,
+        timeout_ps: Optional[int] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> Any:
         """Run until ``signal`` triggers; returns its value.
 
-        Raises :class:`SimulationError` if the event queue drains (deadlock) or
-        the optional timeout elapses before the signal fires.
+        Raises :class:`SimulationError` if the event queue drains (deadlock),
+        the optional timeout elapses before the signal fires, or more than
+        ``max_events`` events execute (a self-rescheduling loop that never
+        fires the signal would otherwise spin forever with no timeout).
         """
         deadline = None if timeout_ps is None else self._now_ps + timeout_ps
         trace = probe.session
@@ -221,15 +265,41 @@ class Simulator:
         elif trace_events:
             step = lambda: self._step_traced(trace)  # noqa: E731
         else:
-            step = self.step
+            step = None  # fast path: dispatch inline, no per-event call
         start_ps = self._now_ps
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         while not signal.triggered:
-            if deadline is not None and self._queue and self._queue[0].time_ps > deadline:
+            if deadline is not None:
+                # Cancelled entries must not shadow the deadline check: a
+                # cancelled head timestamped before the deadline would let
+                # the dispatch below execute the next *live* event past the
+                # timeout, advancing sim time beyond the deadline.
+                while queue and queue[0][2].cancelled:
+                    heappop(queue)
+                if queue and queue[0][0] > deadline:
+                    raise SimulationError(
+                        f"timeout waiting for signal {signal.name!r} after {timeout_ps}ps"
+                    )
+            if executed >= max_events:
                 raise SimulationError(
-                    f"timeout waiting for signal {signal.name!r} after {timeout_ps}ps"
+                    f"exceeded max_events={max_events}; likely a scheduling loop"
                 )
-            if not step():
+            if step is None:
+                while queue:
+                    call = heappop(queue)[2]
+                    if not call.cancelled:
+                        break
+                else:
+                    raise SimulationError(
+                        f"deadlock: event queue empty, signal {signal.name!r} never fired"
+                    )
+                call._sim = None
+                self._live_events -= 1
+                self._now_ps = call.time_ps
+                call.fn(*call.args)
+            elif not step():
                 raise SimulationError(
                     f"deadlock: event queue empty, signal {signal.name!r} never fired"
                 )
@@ -245,5 +315,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for c in self._queue if not c.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live_events

@@ -33,6 +33,9 @@ class OccupancySampler:
             raise ValueError("occupancy sampling period must be positive")
         self.period_ps = period_ps
         self.sources: Dict[str, Callable[[], float]] = {}
+        #: (metric name, reader) pairs — names are prefixed once at
+        #: registration, not re-formatted on every sample
+        self._items: list = []
         self.samples_taken = 0
         self._next_due_ps = 0
 
@@ -40,18 +43,21 @@ class OccupancySampler:
         """Replace the source set (one system build owns the sampler at a
         time — experiments that build several systems re-register)."""
         self.sources = dict(sources)
+        self._items = [
+            (f"occupancy.{name}", read) for name, read in self.sources.items()
+        ]
 
     def maybe_sample(self, trace, now_ps: int) -> bool:
         """Sample every source if the period has elapsed; returns whether
         a sample was taken.  Call sites are already under the ambient
         probe nil-check, so the disabled cost stays one attribute load."""
-        if now_ps < self._next_due_ps or not self.sources:
+        if now_ps < self._next_due_ps or not self._items:
             return False
         self._next_due_ps = now_ps + self.period_ps
         self.samples_taken += 1
         trace.count("occupancy.samples")
-        for name, read in self.sources.items():
-            trace.record(f"occupancy.{name}", read())
+        for name, read in self._items:
+            trace.record(name, read())
         return True
 
 
@@ -79,7 +85,7 @@ def occupancy_sources(socket) -> Dict[str, Callable[[], float]]:
         cache = getattr(buffer, "cache", None)
         if cache is not None:
             sources[f"buffer.{buffer.name}.cache_lines"] = (
-                lambda c=cache: sum(len(s) for s in c._sets)
+                lambda c=cache: c.lines_held
             )
         mbs = getattr(buffer, "mbs", None)
         if mbs is not None:

@@ -36,6 +36,7 @@ from .attribution import (
     session_attribution_records,
 )
 from .chrome import to_chrome_events, truncation_marker, write_chrome_trace
+from .metrics import Counter
 from .registry import MetricsRegistry
 
 #: default cap on stored trace events; beyond it events are counted but
@@ -88,6 +89,9 @@ class TraceSession:
         self.registry = registry or MetricsRegistry()
         for core in CORE_COUNTERS:
             self.registry.counter(core)
+        # bound once: span-capped sessions (campaign workers run
+        # max_events=0) route EVERY span through _drop_event
+        self._dropped_counter = self.registry.counter("telemetry.dropped_events")
         self.events: List[TraceEvent] = []
         self.dropped_events = 0
         self.snapshots: List[dict] = []
@@ -157,12 +161,19 @@ class TraceSession:
         marker, and in the registry so the loss survives into snapshots
         (and campaign merges) even when the events themselves are gone."""
         self.dropped_events += 1
-        self.registry.counter("telemetry.dropped_events").add()
+        self._dropped_counter.add()
 
     # -- metric shortcuts ---------------------------------------------------
 
     def count(self, name: str, n: int = 1) -> None:
-        self.registry.counter(name).add(n)
+        # Fast path: the hot DMI/buffer counters hit this tens of thousands
+        # of times per run — skip the registry's get-or-create/type-check
+        # machinery once the counter exists.
+        metric = self.registry._metrics.get(name)
+        if metric is not None and metric.__class__ is Counter and n >= 0:
+            metric.count += n
+        else:
+            self.registry.counter(name).add(n)
 
     def gauge_set(self, name: str, value: float) -> None:
         self.registry.gauge(name).set(value)

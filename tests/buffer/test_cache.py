@@ -127,3 +127,35 @@ class TestPrefetch:
         cache = BufferCache()
         assert cache.capacity_bytes == 16 * MIB
         assert cache.ways == 16
+
+
+class TestLinesHeld:
+    """``lines_held`` is maintained incrementally for the occupancy
+    sampler; it must track the true resident count through every
+    mutating operation."""
+
+    def _true_count(self, cache):
+        return sum(len(s) for s in cache._sets)
+
+    def test_counts_fills_and_evictions(self):
+        cache = small_cache(ways=2, sets=4)
+        assert cache.lines_held == 0
+        for i in range(20):  # overflow several sets to force evictions
+            cache.fill(i * CACHE_LINE_BYTES, line(i), dirty=bool(i % 2))
+            assert cache.lines_held == self._true_count(cache)
+        assert cache.lines_held == 8  # full: 2 ways x 4 sets
+
+    def test_update_and_drain_leave_count_unchanged(self):
+        cache = small_cache(ways=2, sets=4)
+        cache.fill(0, line(1))
+        cache.fill(CACHE_LINE_BYTES, line(2), dirty=True)
+        cache.update(0, line(3))
+        assert cache.lines_held == self._true_count(cache) == 2
+        cache.drain_dirty()  # flushes dirty data, lines stay resident
+        assert cache.lines_held == self._true_count(cache) == 2
+
+    def test_refill_of_resident_line_not_double_counted(self):
+        cache = small_cache()
+        cache.fill(0, line(1))
+        cache.fill(0, line(2))
+        assert cache.lines_held == self._true_count(cache) == 1

@@ -83,6 +83,55 @@ class TestSerialLink:
             SerialLink(Simulator(), "l", 0, dmi_link_clock(8.0))
 
 
+class TestKeystreamCarry:
+    """The link carries each in-flight frame's keystream (lockstep FIFO);
+    these pin the behaviours that must survive that optimization."""
+
+    def test_forced_corruption_detected(self):
+        # force_drops exercises the scrambled branch: the corrupted wire
+        # frame must still descramble to original-plus-bit-flip
+        sim = Simulator()
+        link = SerialLink(
+            sim, "l", 14, dmi_link_clock(8.0),
+            error_model=LinkErrorModel(force_drops=1),
+        )
+        seen = []
+        link.connect(seen.append)
+        link.send(bytes(28))
+        link.send(b"\x07" * 28)
+        sim.run()
+        assert seen[0] == b"\x01" + bytes(27)  # the injected single-bit flip
+        assert seen[1] == b"\x07" * 28         # next frame is clean again
+        assert link.frames_corrupted == 1
+
+    def test_resync_with_frames_in_flight_desyncs_receiver(self):
+        sim = Simulator()
+        link = SerialLink(sim, "l", 14, dmi_link_clock(8.0))
+        seen = []
+        link.connect(seen.append)
+        link.send(b"\x55" * 28)
+        link.resync()  # before the frame arrives: receiver loses lockstep
+        link.send(b"\xaa" * 28)  # post-resync traffic stays garbled too
+        sim.run()
+        assert seen[0] != b"\x55" * 28
+        assert seen[1] != b"\xaa" * 28
+        assert link.frames_corrupted == 2
+
+    def test_clean_resync_restores_lockstep(self):
+        sim = Simulator()
+        link = SerialLink(sim, "l", 14, dmi_link_clock(8.0))
+        seen = []
+        link.connect(seen.append)
+        link.send(b"\x55" * 28)
+        link.resync()  # mid-flight: desync
+        sim.run()      # drain the garbled frame
+        link.resync()  # nothing in flight: both sides restart together
+        link.send(b"\x33" * 28)
+        sim.run()
+        assert seen[-1] == b"\x33" * 28
+        assert link.frames_corrupted == 1
+
+
 class TestTraining:
     def test_training_measures_positive_frtl(self):
         sim = Simulator()

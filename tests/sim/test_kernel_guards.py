@@ -1,0 +1,158 @@
+"""Regression tests for the kernel's timeout/guard edge cases.
+
+These pin three dispatch-loop bugs fixed alongside the tuple-heap
+rewrite, plus the cancelled-event semantics every one of the four
+dispatch loops (plain, kernel-events traced, profiled, signal-wait)
+must share:
+
+* ``run_until_signal``'s deadline check must look past *cancelled* heap
+  heads — a stale cancelled entry timestamped before the deadline used
+  to let the next live event execute past the timeout;
+* ``run()`` / the profiled drain must execute **exactly** ``max_events``
+  events before raising, never one more;
+* ``run_until_signal`` must honour ``max_events`` at all (a
+  self-rescheduling loop that never fires the signal and never passes a
+  timeout would otherwise spin forever).
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Signal, Simulator
+from repro.sim.profile import profiled
+from repro.telemetry import TraceSession
+
+
+class TestSignalDeadline:
+    def test_deadline_ignores_cancelled_head(self):
+        # a cancelled event *inside* the deadline must not mask a live
+        # event *beyond* it
+        sim = Simulator()
+        sig = Signal("late")
+        sim.call_after(500, lambda: None).cancel()
+        sim.trigger_after(5_000, sig)
+        with pytest.raises(SimulationError, match="timeout"):
+            sim.run_until_signal(sig, timeout_ps=1_000)
+        assert not sig.triggered  # the live event never executed
+
+    def test_live_event_inside_deadline_still_runs(self):
+        sim = Simulator()
+        sig = Signal("ok")
+        sim.call_after(500, lambda: None).cancel()
+        sim.trigger_after(800, sig, "v")
+        assert sim.run_until_signal(sig, timeout_ps=1_000) == "v"
+
+    def test_signal_max_events_guard(self):
+        sim = Simulator()
+        sig = Signal("never")
+        executed = []
+
+        def reschedule():
+            executed.append(sim.now_ps)
+            sim.call_after(1, reschedule)
+
+        sim.call_after(1, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until_signal(sig, max_events=50)
+        assert len(executed) == 50
+
+    def test_signal_max_events_guard_traced(self):
+        sim = Simulator()
+        sig = Signal("never")
+
+        def reschedule():
+            sim.call_after(1, reschedule)
+
+        sim.call_after(1, reschedule)
+        with TraceSession("unit", kernel_events=True):
+            with pytest.raises(SimulationError, match="max_events"):
+                sim.run_until_signal(sig, max_events=50)
+
+
+class TestExactMaxEvents:
+    def test_run_executes_exactly_max_events(self):
+        sim = Simulator()
+        executed = []
+
+        def reschedule():
+            executed.append(sim.now_ps)
+            sim.call_after(1, reschedule)
+
+        sim.call_after(1, reschedule)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+        assert len(executed) == 100
+
+    def test_run_at_the_limit_does_not_raise(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.call_after(10 * (i + 1), lambda i=i: seen.append(i))
+        assert sim.run(max_events=5) == 5
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_profiled_run_executes_exactly_max_events(self):
+        sim = Simulator()
+        executed = []
+
+        def reschedule():
+            executed.append(sim.now_ps)
+            sim.call_after(1, reschedule)
+
+        sim.call_after(1, reschedule)
+        with profiled():
+            with pytest.raises(SimulationError, match="max_events"):
+                sim.run(max_events=100)
+        assert len(executed) == 100
+
+
+class TestCancelledAcrossDispatchLoops:
+    """One cancelled + one live event through every dispatch loop."""
+
+    def _schedule(self, sim):
+        seen = []
+        sim.call_after(100, lambda: seen.append("dead")).cancel()
+        sim.call_after(200, lambda: seen.append("live"))
+        return seen
+
+    def test_plain_run(self):
+        sim = Simulator()
+        seen = self._schedule(sim)
+        assert sim.run() == 1
+        assert seen == ["live"]
+        assert sim.pending_events == 0
+
+    def test_traced_run(self):
+        sim = Simulator()
+        seen = self._schedule(sim)
+        with TraceSession("unit", kernel_events=True) as session:
+            assert sim.run() == 1
+        assert seen == ["live"]
+        names = [e.name for e in session.events if e.category == "kernel" and e.ph == "i"]
+        assert len(names) == 1  # the cancelled event emits no instant
+
+    def test_profiled_run(self):
+        sim = Simulator()
+        seen = self._schedule(sim)
+        with profiled() as prof:
+            assert sim.run() == 1
+        assert seen == ["live"]
+        assert prof.events == 1  # the cancelled event was never timed
+
+    def test_run_until_signal(self):
+        sim = Simulator()
+        seen = self._schedule(sim)
+        sig = Signal("done")
+        sim.trigger_after(300, sig, "v")
+        assert sim.run_until_signal(sig) == "v"
+        assert seen == ["live"]
+        assert sim.pending_events == 0
+
+    def test_run_until_signal_profiled(self):
+        sim = Simulator()
+        seen = self._schedule(sim)
+        sig = Signal("done")
+        sim.trigger_after(300, sig)
+        with profiled():
+            sim.run_until_signal(sig)
+        assert seen == ["live"]
